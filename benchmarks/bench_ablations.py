@@ -1,0 +1,16 @@
+"""Reproduce design-choice ablations and assert the paper's shape claims.
+
+Prints the full result table; run with `-s` to see it, or
+`REPRO_BENCH_SCALE=paper` for the paper's model sizes.
+"""
+
+from repro.bench.figures import ablations
+
+from conftest import run_and_check
+
+
+def test_ablations(benchmark, scale, capsys):
+    result = run_and_check(benchmark, ablations, scale)
+    with capsys.disabled():
+        print()
+        print(result.format())

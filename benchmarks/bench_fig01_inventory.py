@@ -1,0 +1,12 @@
+"""Reproduce Fig. 1 companion model inventory and assert the claims."""
+
+from repro.bench.figures import fig01_model_inventory
+
+from conftest import run_and_check
+
+
+def test_fig01_inventory(benchmark, scale, capsys):
+    result = run_and_check(benchmark, fig01_model_inventory, scale)
+    with capsys.disabled():
+        print()
+        print(result.format())

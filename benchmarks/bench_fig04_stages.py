@@ -1,0 +1,16 @@
+"""Reproduce Fig. 4 stage breakdown and assert the paper's shape claims.
+
+Prints the full result table; run with `-s` to see it, or
+`REPRO_BENCH_SCALE=paper` for the paper's model sizes.
+"""
+
+from repro.bench.figures import fig04_stage_breakdown
+
+from conftest import run_and_check
+
+
+def test_fig04_stages(benchmark, scale, capsys):
+    result = run_and_check(benchmark, fig04_stage_breakdown, scale)
+    with capsys.disabled():
+        print()
+        print(result.format())

@@ -1,0 +1,16 @@
+"""Reproduce Fig. 9 MT speed scaling and assert the paper's shape claims.
+
+Prints the full result table; run with `-s` to see it, or
+`REPRO_BENCH_SCALE=paper` for the paper's model sizes.
+"""
+
+from repro.bench.figures import fig09_mt_scaling
+
+from conftest import run_and_check
+
+
+def test_fig09_layers_scaling(benchmark, scale, capsys):
+    result = run_and_check(benchmark, fig09_mt_scaling, scale)
+    with capsys.disabled():
+        print()
+        print(result.format())

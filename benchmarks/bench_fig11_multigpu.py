@@ -1,0 +1,16 @@
+"""Reproduce Fig. 11 multi-GPU speedup and assert the paper's shape claims.
+
+Prints the full result table; run with `-s` to see it, or
+`REPRO_BENCH_SCALE=paper` for the paper's model sizes.
+"""
+
+from repro.bench.figures import fig11_multi_gpu
+
+from conftest import run_and_check
+
+
+def test_fig11_multigpu(benchmark, scale, capsys):
+    result = run_and_check(benchmark, fig11_multi_gpu, scale)
+    with capsys.disabled():
+        print()
+        print(result.format())

@@ -1,0 +1,16 @@
+"""Reproduce Fig. 12 ViT speedup and assert the paper's shape claims.
+
+Prints the full result table; run with `-s` to see it, or
+`REPRO_BENCH_SCALE=paper` for the paper's model sizes.
+"""
+
+from repro.bench.figures import fig12_vit
+
+from conftest import run_and_check
+
+
+def test_fig12_vit(benchmark, scale, capsys):
+    result = run_and_check(benchmark, fig12_vit, scale)
+    with capsys.disabled():
+        print()
+        print(result.format())

@@ -1,0 +1,16 @@
+"""Reproduce Fig. 13 LayerNorm kernels and assert the paper's shape claims.
+
+Prints the full result table; run with `-s` to see it, or
+`REPRO_BENCH_SCALE=paper` for the paper's model sizes.
+"""
+
+from repro.bench.figures import fig13_layernorm
+
+from conftest import run_and_check
+
+
+def test_fig13_layernorm(benchmark, scale, capsys):
+    result = run_and_check(benchmark, fig13_layernorm, scale)
+    with capsys.disabled():
+        print()
+        print(result.format())

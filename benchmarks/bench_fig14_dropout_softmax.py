@@ -1,0 +1,16 @@
+"""Reproduce Fig. 14 Dropout and Softmax kernels and assert the paper's shape claims.
+
+Prints the full result table; run with `-s` to see it, or
+`REPRO_BENCH_SCALE=paper` for the paper's model sizes.
+"""
+
+from repro.bench.figures import fig14_dropout_softmax
+
+from conftest import run_and_check
+
+
+def test_fig14_dropout_softmax(benchmark, scale, capsys):
+    result = run_and_check(benchmark, fig14_dropout_softmax, scale)
+    with capsys.disabled():
+        print()
+        print(result.format())

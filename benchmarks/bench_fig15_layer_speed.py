@@ -1,0 +1,16 @@
+"""Reproduce Fig. 15 per-layer speed and assert the paper's shape claims.
+
+Prints the full result table; run with `-s` to see it, or
+`REPRO_BENCH_SCALE=paper` for the paper's model sizes.
+"""
+
+from repro.bench.figures import fig15_layer_speed
+
+from conftest import run_and_check
+
+
+def test_fig15_layer_speed(benchmark, scale, capsys):
+    result = run_and_check(benchmark, fig15_layer_speed, scale)
+    with capsys.disabled():
+        print()
+        print(result.format())

@@ -1,0 +1,16 @@
+"""Reproduce Fig. 17 GPU utilization over time and assert the paper's shape claims.
+
+Prints the full result table; run with `-s` to see it, or
+`REPRO_BENCH_SCALE=paper` for the paper's model sizes.
+"""
+
+from repro.bench.figures import fig17_utilization
+
+from conftest import run_and_check
+
+
+def test_fig17_utilization(benchmark, scale, capsys):
+    result = run_and_check(benchmark, fig17_utilization, scale)
+    with capsys.disabled():
+        print()
+        print(result.format())

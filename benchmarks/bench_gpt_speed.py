@@ -1,0 +1,12 @@
+"""Reproduce supplementary GPT training speed and assert the claims."""
+
+from repro.bench.figures import gpt_training_speed
+
+from conftest import run_and_check
+
+
+def test_gpt_speed(benchmark, scale, capsys):
+    result = run_and_check(benchmark, gpt_training_speed, scale)
+    with capsys.disabled():
+        print()
+        print(result.format())

@@ -1,0 +1,16 @@
+"""Reproduce Table 2 BERT MRPC speed and assert the paper's shape claims.
+
+Prints the full result table; run with `-s` to see it, or
+`REPRO_BENCH_SCALE=paper` for the paper's model sizes.
+"""
+
+from repro.bench.figures import table2_bert
+
+from conftest import run_and_check
+
+
+def test_table2_bert(benchmark, scale, capsys):
+    result = run_and_check(benchmark, table2_bert, scale)
+    with capsys.disabled():
+        print()
+        print(result.format())

@@ -1,0 +1,16 @@
+"""Reproduce Sec. 3.2 trainer ablation and assert the paper's shape claims.
+
+Prints the full result table; run with `-s` to see it, or
+`REPRO_BENCH_SCALE=paper` for the paper's model sizes.
+"""
+
+from repro.bench.figures import trainer_ablation
+
+from conftest import run_and_check
+
+
+def test_trainer_ablation(benchmark, scale, capsys):
+    result = run_and_check(benchmark, trainer_ablation, scale)
+    with capsys.disabled():
+        print()
+        print(result.format())

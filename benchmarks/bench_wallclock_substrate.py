@@ -1,0 +1,177 @@
+"""Real wall-clock benchmarks of the numpy substrate itself.
+
+Beyond the simulated-GPU figures, the fused kernels genuinely beat the
+naive per-op path on the CPU too — fewer temporaries, fewer dispatches —
+so pytest-benchmark timings of the two paths give a hardware-independent
+sanity check of the fusion claims.  Compare groups with
+``--benchmark-group-by=group``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backend.kernels import elementwise as ew
+from repro.backend.kernels import layernorm as lnk
+from repro.backend.kernels import softmax as smx
+from repro.config import get_config
+from repro.layers.encoder import LSTransformerEncoderLayer
+from repro.training import OptimizerSpec, make_trainer
+
+RNG = np.random.default_rng(0)
+
+LN_X = RNG.standard_normal((4096, 512)).astype(np.float32)
+LN_W = np.ones(512, dtype=np.float32)
+LN_B = np.zeros(512, dtype=np.float32)
+LN_DY = RNG.standard_normal(LN_X.shape).astype(np.float32)
+
+SM_X = RNG.standard_normal((64, 8, 64, 64)).astype(np.float32)
+
+EW_X = RNG.standard_normal((16, 128, 512)).astype(np.float32)
+EW_B = RNG.standard_normal(512).astype(np.float32)
+EW_R = RNG.standard_normal(EW_X.shape).astype(np.float32)
+EW_MASK = ew.make_dropout_mask(EW_X.shape, 0.1, RNG)
+
+
+@pytest.mark.benchmark(group="layernorm-fwd")
+def test_layernorm_forward_naive(benchmark):
+    benchmark(lnk.layernorm_forward_naive, LN_X, LN_W, LN_B)
+
+
+@pytest.mark.benchmark(group="layernorm-fwd")
+def test_layernorm_forward_fused(benchmark):
+    benchmark(lnk.layernorm_forward_fused, LN_X, LN_W, LN_B)
+
+
+@pytest.mark.benchmark(group="layernorm-bwd")
+def test_layernorm_backward_naive(benchmark):
+    _, mu, rstd = lnk.layernorm_forward_naive(LN_X, LN_W, LN_B)
+    benchmark(lnk.layernorm_backward_naive, LN_DY, LN_X, LN_W, mu, rstd)
+
+
+@pytest.mark.benchmark(group="layernorm-bwd")
+def test_layernorm_backward_fused(benchmark):
+    _, mu, rstd = lnk.layernorm_forward_fused(LN_X, LN_W, LN_B)
+    benchmark(lnk.layernorm_backward_fused, LN_DY, LN_X, LN_W, mu, rstd)
+
+
+@pytest.mark.benchmark(group="softmax")
+def test_softmax_naive(benchmark):
+    benchmark(smx.softmax_forward_naive, SM_X)
+
+
+@pytest.mark.benchmark(group="softmax")
+def test_softmax_fused(benchmark):
+    benchmark(smx.softmax_forward_fused, SM_X)
+
+
+@pytest.mark.benchmark(group="epilogue")
+def test_bias_dropout_residual_naive(benchmark):
+    def run():
+        zb = ew.bias_add_naive(EW_X, EW_B)
+        zd, _ = ew.dropout_forward_naive(zb, 0.1, RNG, mask=EW_MASK)
+        return ew.residual_add_naive(zd, EW_R)
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="epilogue")
+def test_bias_dropout_residual_fused(benchmark):
+    benchmark(ew.bias_dropout_residual_forward, EW_X, EW_B, EW_R, 0.1,
+              RNG, mask=EW_MASK)
+
+
+def _encoder(fused):
+    cfg = get_config("transformer-base", max_batch_tokens=4096,
+                     max_seq_len=64, hidden_dim=256, nhead=8, ffn_dim=1024,
+                     vocab_size=1000, fused=fused)
+    layer = LSTransformerEncoderLayer(cfg, seed=0)
+    x = RNG.standard_normal((8, 64, 256)).astype(np.float32)
+    return layer, x
+
+
+@pytest.mark.benchmark(group="encoder-layer-fwdbwd")
+def test_encoder_layer_naive(benchmark):
+    layer, x = _encoder(False)
+
+    def run():
+        y = layer.forward(x)
+        layer.backward(y)
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="encoder-layer-fwdbwd")
+def test_encoder_layer_fused(benchmark):
+    layer, x = _encoder(True)
+
+    def run():
+        y = layer.forward(x)
+        layer.backward(y)
+
+    benchmark(run)
+
+
+def _trainer(kind):
+    cfg = get_config("transformer-base", max_batch_tokens=256,
+                     max_seq_len=32, hidden_dim=128, nhead=8, ffn_dim=512,
+                     vocab_size=2000, num_encoder_layers=2,
+                     num_decoder_layers=2, fp16=True)
+    from repro.models import TransformerModel
+    model = TransformerModel(cfg, seed=0)
+    tr = make_trainer(kind, model, OptimizerSpec(lr=1e-4))
+    for p in model.parameters():
+        p.grad[...] = np.float16(1e-3)
+    return tr
+
+
+@pytest.mark.benchmark(group="trainer-update")
+def test_trainer_update_naive(benchmark):
+    tr = _trainer("naive")
+    benchmark(tr.step)
+
+
+@pytest.mark.benchmark(group="trainer-update")
+def test_trainer_update_apex(benchmark):
+    tr = _trainer("apex")
+    benchmark(tr.step)
+
+
+@pytest.mark.benchmark(group="trainer-update")
+def test_trainer_update_lightseq(benchmark):
+    tr = _trainer("lightseq")
+    benchmark(tr.step)
+
+
+EMB_TOKENS = RNG.integers(4, 2000, (16, 128))
+EMB_TABLE = RNG.standard_normal((2000, 256)).astype(np.float32)
+from repro.backend.kernels import embedding as embk  # noqa: E402
+
+EMB_POS = embk.sinusoidal_positions(256, 256)
+
+
+@pytest.mark.benchmark(group="embedding-fwd")
+def test_embedding_forward_naive(benchmark):
+    benchmark(embk.embedding_forward_naive, EMB_TOKENS, EMB_TABLE, EMB_POS,
+              16.0, 0.1, RNG)
+
+
+@pytest.mark.benchmark(group="embedding-fwd")
+def test_embedding_forward_fused(benchmark):
+    benchmark(embk.embedding_forward_fused, EMB_TOKENS, EMB_TABLE, EMB_POS,
+              16.0, 0.1, RNG)
+
+
+from repro.backend.kernels import criterion as critk  # noqa: E402
+
+CRIT_LOGITS = RNG.standard_normal((512, 2000)).astype(np.float32)
+CRIT_TARGETS = RNG.integers(4, 2000, 512)
+
+
+@pytest.mark.benchmark(group="criterion-fwd")
+def test_criterion_forward_naive(benchmark):
+    benchmark(critk.criterion_forward_naive, CRIT_LOGITS, CRIT_TARGETS, 0.1)
+
+
+@pytest.mark.benchmark(group="criterion-fwd")
+def test_criterion_forward_fused(benchmark):
+    benchmark(critk.criterion_forward_fused, CRIT_LOGITS, CRIT_TARGETS, 0.1)

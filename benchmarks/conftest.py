@@ -1,0 +1,25 @@
+"""Benchmark fixtures.
+
+Each paper figure/table has one benchmark that (a) times the experiment via
+pytest-benchmark and (b) asserts every paper-shape claim holds.  Scale is
+controlled by ``REPRO_BENCH_SCALE`` (quick | paper); quick is the default
+so ``pytest benchmarks/ --benchmark-only`` completes in minutes.
+"""
+
+import pytest
+
+from repro.bench.harness import bench_scale
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return bench_scale()
+
+
+def run_and_check(benchmark, fn, scale):
+    """Time one full experiment run and assert its claims."""
+    result = benchmark.pedantic(fn, args=(scale,), rounds=1, iterations=1)
+    failed = result.failed_claims()
+    assert not failed, "\n" + "\n".join(str(c) for c in failed) + \
+        "\n\n" + result.format()
+    return result

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Multi-GPU data-parallel training (Fig. 3 / Fig. 11 in miniature).
+
+Simulates 4-GPU data parallelism in-process: 4 replicas trained on batch
+shards, synchronised each step with the real chunked ring all-reduce — and,
+as a variant, with int8-compressed gradients + error feedback.  Reports
+loss curves for both, shows the replicas stay bit-identical, and prints
+the alpha–beta sync-time comparison (ring vs parameter server vs int8).
+
+Run:  python examples/data_parallel_training.py
+"""
+
+import numpy as np
+
+from repro.config import get_config
+from repro.data import batch_by_tokens
+from repro.data.synthetic import SentencePair, SyntheticTranslationCorpus
+from repro.models import TransformerModel
+from repro.sim import V100
+from repro.sim.comm import (bucketed_allreduce_seconds,
+                            compressed_allreduce_seconds,
+                            parameter_server_seconds)
+from repro.training import DataParallel, OptimizerSpec, shard_batch
+
+
+def run(world: int, compress: bool, batches, cfg, epochs: int = 4):
+    dp = DataParallel(lambda: TransformerModel(cfg, seed=11), world,
+                      "lightseq", OptimizerSpec(lr=3e-3),
+                      compress_gradients=compress)
+    curve = []
+    for _ in range(epochs):
+        total = tokens = 0
+        for b in batches:
+            if b[0].shape[0] < world:
+                continue
+            loss, ntok = dp.train_step(shard_batch(list(b), world))
+            total += loss
+            tokens += ntok
+        curve.append(total / tokens)
+    return dp, curve
+
+
+def main() -> None:
+    cfg = get_config("transformer-base", max_batch_tokens=512,
+                     max_seq_len=24, fp16=True, hidden_dim=64, nhead=4,
+                     ffn_dim=256, vocab_size=200, num_encoder_layers=2,
+                     num_decoder_layers=2)
+    corpus = SyntheticTranslationCorpus(cfg.vocab_size, max_len=14, seed=6)
+    pairs = [SentencePair(source=p.source, target=p.source.copy())
+             for p in corpus.sample(96)]
+    batches = [b.as_tuple() for b in batch_by_tokens(pairs, 512)]
+
+    world = 4
+    dp, curve = run(world, compress=False, batches=batches, cfg=cfg)
+    print(f"{world}-way DP, FP32 ring all-reduce:")
+    print("  loss/token per epoch:",
+          " -> ".join(f"{l:.3f}" for l in curve))
+    print(f"  replicas bit-identical after training: "
+          f"{dp.parameters_in_sync()}")
+
+    dp_c, curve_c = run(world, compress=True, batches=batches, cfg=cfg)
+    print(f"\n{world}-way DP, int8 error-feedback all-reduce:")
+    print("  loss/token per epoch:",
+          " -> ".join(f"{l:.3f}" for l in curve_c))
+    print(f"  final loss within "
+          f"{abs(curve_c[-1] - curve[-1]) / curve[-1]:.1%} of FP32 sync")
+
+    # sync-time economics at Transformer-big scale
+    grad_bytes = 215_000_000 * 2        # ~215M params, FP16 grads
+    print("\ngradient-sync time for Transformer-big on 8 V100s "
+          "(alpha-beta model):")
+    print(f"  ring all-reduce:    "
+          f"{bucketed_allreduce_seconds(grad_bytes, 8, V100) * 1e3:7.2f} ms")
+    print(f"  int8 + feedback:    "
+          f"{compressed_allreduce_seconds(grad_bytes * 2, 8, V100) * 1e3:7.2f} ms")
+    print(f"  parameter server:   "
+          f"{parameter_server_seconds(grad_bytes, 8, V100) * 1e3:7.2f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""ViT image classification — the paper's CV workload (Fig. 12).
+
+Trains a small Vision Transformer on CIFAR-10-shaped synthetic images
+(upsampled to the paper's 224x224 / patch-32 geometry by default, reduced
+here for speed) and reports the LightSeq2-vs-PyTorch speedup curve across
+batch sizes, reproducing Fig. 12's "speedup falls as batch grows" shape.
+
+Run:  python examples/train_vit_cifar.py
+"""
+
+import numpy as np
+
+from repro.backend.device import Device, use_device
+from repro.config import get_config
+from repro.data import synthetic_images
+from repro.models import ViTModel
+from repro.sim import V100, trace_cost
+from repro.training import OptimizerSpec, make_trainer, train_epoch, train_step
+
+
+def main() -> None:
+    cfg = get_config("vit-b-32", max_batch_tokens=4096, max_seq_len=64,
+                     fp16=True,
+                     hidden_dim=128, nhead=4, ffn_dim=512,
+                     num_encoder_layers=3, image_size=64, patch_size=32)
+    model = ViTModel(cfg, seed=0)
+    trainer = make_trainer("lightseq", model, OptimizerSpec(lr=3e-4))
+    print(f"ViT: seq len {cfg.vit_seq_len} "
+          f"({(cfg.image_size // cfg.patch_size) ** 2} patches + [CLS]), "
+          f"{model.num_parameters():,} params")
+
+    images, labels = synthetic_images(64, image_size=cfg.image_size,
+                                      num_classes=cfg.num_classes, seed=0)
+    batches = [(images[i:i + 16], labels[i:i + 16])
+               for i in range(0, 64, 16)]
+    for epoch in range(3):
+        stats = train_epoch(model, trainer, batches)
+        print(f"epoch {epoch}: loss/sample {stats.mean_loss_per_token:.4f}")
+
+    # -- Fig.-12 shape: speedup vs batch size ------------------------------
+    print("\nsimulated V100 speedup vs batch size (Fig. 12 shape):")
+    for bsz in (4, 8, 16, 32):
+        imgs, labs = synthetic_images(bsz, image_size=cfg.image_size)
+        times = {}
+        for fused, tkind, lib in ((False, "naive", "pytorch"),
+                                  (True, "lightseq", "lightseq2")):
+            m = ViTModel(cfg.with_overrides(fused=fused), seed=0)
+            tr = make_trainer(tkind, m, OptimizerSpec(lr=3e-4))
+            dev = Device(lib=lib)
+            with use_device(dev):
+                train_step(m, tr, (imgs, labs))
+            times[lib] = trace_cost(dev.launches, V100).total_s
+        print(f"  batch {bsz:3d}: "
+              f"{times['pytorch'] / times['lightseq2']:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Train-then-translate: the unified training + inference flow.
+
+Trains a small Transformer on a synthetic *copy* task (target = source), so
+learned behaviour is checkable by eye, then decodes with the incremental
+KV-cache decoder — greedy and beam search — and reports copy accuracy.
+
+Run:  python examples/translate_beam_search.py
+"""
+
+import numpy as np
+
+from repro.config import get_config
+from repro.data import batch_by_tokens
+from repro.data.synthetic import SentencePair
+from repro.inference import IncrementalDecoder
+from repro.models import TransformerModel
+from repro.training import OptimizerSpec, make_trainer, train_epoch
+
+
+def main() -> None:
+    cfg = get_config("transformer-base", max_batch_tokens=512,
+                     max_seq_len=32, hidden_dim=64, nhead=4, ffn_dim=256,
+                     vocab_size=120, num_encoder_layers=2,
+                     num_decoder_layers=2, dropout=0.0, attn_dropout=0.0)
+    # uniform short sentences (not Zipf) so the copy task trains quickly
+    rng = np.random.default_rng(2)
+    def sample_pairs(n):
+        out = []
+        for _ in range(n):
+            ln = int(rng.integers(5, 10))
+            src = np.concatenate([rng.integers(4, cfg.vocab_size, ln), [2]])
+            out.append(SentencePair(source=src, target=src.copy()))
+        return out
+    pairs = sample_pairs(256)
+    batches = [b.as_tuple() for b in batch_by_tokens(pairs, 512)]
+
+    model = TransformerModel(cfg, seed=1)
+    trainer = make_trainer("lightseq", model, OptimizerSpec(lr=3e-3))
+    print("training a copy task...")
+    for epoch in range(40):
+        stats = train_epoch(model, trainer, batches)
+        if epoch % 8 == 0 or epoch == 39:
+            print(f"  epoch {epoch:2d}: loss/token "
+                  f"{stats.mean_loss_per_token:.3f}")
+
+    decoder = IncrementalDecoder(model)
+    test = pairs[:5]       # decode training sentences (memorisation demo)
+    print("\ngreedy decoding (source -> hypothesis):")
+    correct = total = 0
+    for p in test:
+        src = p.source[None, :]
+        hyp = decoder.greedy(src, max_len=14)[0]
+        n = min(len(hyp), len(p.source))
+        match = int((hyp[:n] == p.source[:n]).sum())
+        correct += match
+        total += len(p.source)
+        print(f"  {p.source.tolist()}\n  -> {hyp.tolist()} "
+              f"({match}/{len(p.source)} tokens copied)")
+    print(f"\ngreedy copy accuracy: {correct / total:.0%}")
+
+    print("\nbeam search (size 4) on the first sentence:")
+    for h in decoder.beam_search(test[0].source[None, :], beam_size=4,
+                                 max_len=14):
+        print(f"  score {h.score:7.3f}: {h.tokens.tolist()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,232 @@
+"""GPU memory allocators — §3.3 and the Fig. 8/16 experiments.
+
+Two allocation disciplines, matching the systems compared in the paper:
+
+* :class:`CachingAllocator` — the PyTorch CUDA caching allocator's observable
+  behaviour: blocks are requested on demand, freed blocks are cached for
+  reuse, and the *reserved* footprint only ever grows.  When a batch with a
+  longer sequence arrives, no cached block fits and the pool grows — which is
+  exactly why Fig. 16's PyTorch curve climbs stepwise during training.
+* :class:`StaticPlanAllocator` — LightSeq2's discipline: scan the training
+  set for the maximum temporary footprint, reserve it *once* before training,
+  then bump-allocate inside the slab for every batch at zero cost.
+
+:func:`plan_offsets` is the lifetime-sharing planner behind Fig. 8: tensors
+whose lifetimes do not overlap may share the same offset range, reducing the
+self-attention backward footprint from ``9*B*L*H + B*L^2*N`` to
+``3*B*L*H + max(3*B*L*H, B*L^2*N)``.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .device import Device, current_device
+
+
+def round_block(nbytes: int) -> int:
+    """PyTorch-style rounding: 512 B granularity, 2 MiB for large blocks."""
+    if nbytes <= 0:
+        raise ValueError(f"allocation size must be positive, got {nbytes}")
+    if nbytes < 1 << 20:
+        g = 512
+    else:
+        g = 2 << 20
+    return (nbytes + g - 1) // g * g
+
+
+@dataclass
+class Block:
+    """A live allocation handle."""
+
+    nbytes: int
+    offset: int = -1   # slab offset for static allocations; -1 = caching
+    freed: bool = False
+
+
+class CachingAllocator:
+    """PyTorch-caching-allocator model: best-fit reuse, monotone reserve."""
+
+    def __init__(self, device: Optional[Device] = None):
+        self._device = device
+        self._free: List[int] = []            # sorted cached block sizes
+        self.reserved_bytes = 0
+        self.allocated_bytes = 0
+        self.peak_allocated = 0
+        self.alloc_calls = 0                  # cudaMalloc count (slow path)
+        self.cache_hits = 0
+
+    def _dev(self) -> Device:
+        return self._device if self._device is not None else current_device()
+
+    def alloc(self, nbytes: int) -> Block:
+        size = round_block(nbytes)
+        i = bisect.bisect_left(self._free, size)
+        if i < len(self._free):
+            size = self._free.pop(i)          # best-fit cached block
+            self.cache_hits += 1
+        else:
+            self.reserved_bytes += size       # cudaMalloc: pool grows
+            self.alloc_calls += 1
+        self.allocated_bytes += size
+        self.peak_allocated = max(self.peak_allocated, self.allocated_bytes)
+        self._dev().record_memory("alloc", size, self.reserved_bytes)
+        return Block(nbytes=size)
+
+    def free(self, block: Block) -> None:
+        if block.freed:
+            raise ValueError("double free")
+        block.freed = True
+        self.allocated_bytes -= block.nbytes
+        bisect.insort(self._free, block.nbytes)
+        self._dev().record_memory("free", block.nbytes, self.reserved_bytes)
+
+
+class StaticPlanAllocator:
+    """LightSeq2 discipline: reserve the corpus maximum once, bump per batch."""
+
+    def __init__(self, device: Optional[Device] = None):
+        self._device = device
+        self.reserved_bytes = 0
+        self._cursor = 0
+        self.peak_cursor = 0
+
+    def _dev(self) -> Device:
+        return self._device if self._device is not None else current_device()
+
+    def reserve(self, nbytes: int) -> None:
+        """One-time up-front reservation (before training starts)."""
+        if self.reserved_bytes:
+            raise RuntimeError("static slab already reserved")
+        self.reserved_bytes = round_block(nbytes)
+        self._dev().record_memory("reserve", self.reserved_bytes,
+                                  self.reserved_bytes)
+
+    def alloc(self, nbytes: int) -> Block:
+        """Bump-allocate inside the slab; free is a no-op (reset per batch)."""
+        size = round_block(nbytes)
+        if self._cursor + size > self.reserved_bytes:
+            raise MemoryError(
+                f"static slab exhausted: need {self._cursor + size} of "
+                f"{self.reserved_bytes} reserved bytes — the corpus scan "
+                f"under-estimated the maximum batch footprint")
+        blk = Block(nbytes=size, offset=self._cursor)
+        self._cursor += size
+        self.peak_cursor = max(self.peak_cursor, self._cursor)
+        return blk
+
+    def free(self, block: Block) -> None:
+        block.freed = True                    # no-op: slab is reset per batch
+
+    def reset(self) -> None:
+        """Rewind the bump cursor at the start of each batch."""
+        self._cursor = 0
+
+
+# ---------------------------------------------------------------------------
+# lifetime-sharing offset planner (Fig. 8)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TensorSpec:
+    """A temporary tensor with a half-open lifetime [start, end) in steps."""
+
+    name: str
+    nbytes: int
+    start: int
+    end: int
+
+    def overlaps(self, other: "TensorSpec") -> bool:
+        return self.start < other.end and other.start < self.end
+
+
+def plan_offsets(specs: List[TensorSpec]) -> Tuple[Dict[str, int], int]:
+    """Assign slab offsets so only lifetime-overlapping tensors are disjoint.
+
+    Greedy best-fit decreasing: place tensors largest-first at the lowest
+    offset that does not collide with any already-placed, lifetime-
+    overlapping tensor.  This is the classic offset-assignment heuristic
+    used by static DNN memory planners and reproduces the Fig. 8 packing
+    exactly (verified in tests).
+
+    Returns ``(offsets by name, total slab bytes)``.
+    """
+    names = [s.name for s in specs]
+    if len(set(names)) != len(names):
+        raise ValueError("duplicate tensor names in plan")
+    for s in specs:
+        if s.end <= s.start:
+            raise ValueError(f"{s.name}: empty lifetime [{s.start},{s.end})")
+        if s.nbytes <= 0:
+            raise ValueError(f"{s.name}: non-positive size")
+
+    order = sorted(specs, key=lambda s: (-s.nbytes, s.start, s.name))
+    placed: List[Tuple[TensorSpec, int]] = []
+    offsets: Dict[str, int] = {}
+    total = 0
+    for s in order:
+        # collect occupied [lo, hi) ranges of lifetime-overlapping tensors
+        busy = sorted((off, off + t.nbytes)
+                      for t, off in placed if t.overlaps(s))
+        pos = 0
+        for lo, hi in busy:
+            if pos + s.nbytes <= lo:
+                break
+            pos = max(pos, hi)
+        offsets[s.name] = pos
+        placed.append((s, pos))
+        total = max(total, pos + s.nbytes)
+    return offsets, total
+
+
+def validate_plan(specs: List[TensorSpec], offsets: Dict[str, int]) -> None:
+    """Raise if any two lifetime-overlapping tensors alias in offset space."""
+    for i, a in enumerate(specs):
+        for b in specs[i + 1:]:
+            if not a.overlaps(b):
+                continue
+            alo, ahi = offsets[a.name], offsets[a.name] + a.nbytes
+            blo, bhi = offsets[b.name], offsets[b.name] + b.nbytes
+            if alo < bhi and blo < ahi:
+                raise AssertionError(
+                    f"live tensors alias: {a.name}@[{alo},{ahi}) vs "
+                    f"{b.name}@[{blo},{bhi})")
+
+
+def attention_backward_specs(b: int, l: int, h: int, n: int,
+                             itemsize: int = 2) -> List[TensorSpec]:
+    """The Fig.-8 workload: temporary tensors of self-attention backward.
+
+    Orange tensors have size ``B*L*H`` (hidden-shaped grads: d_out,
+    d_context, dV, dQ, dK, d_input), the purple tensor ``B*L^2*N``
+    (attention-probability grad).  The softmax backward runs in place, so
+    ``d_probs`` and ``d_scores`` are one tensor — they share a column in
+    Fig. 8.  Lifetimes follow the left side of the figure: each backward
+    step consumes the previous step's outputs.
+
+    With sharing, the planner packs this into
+    ``3*B*L*H + B*L^2*N`` bytes when scores dominate (``B*L^2*N >= 3*B*L*H``,
+    i.e. the paper's ``3BLH + max(3BLH, BL^2N)`` in its large-L regime) vs
+    the unshared sum of all rows — the Fig.-8 saving.  Verified in
+    ``tests/backend/test_allocator.py``.
+    """
+    blh = b * l * h * itemsize
+    bl2n = b * l * l * n * itemsize
+    return [
+        # step 0: fused dropout-residual bwd produces d_out
+        TensorSpec("d_out", blh, 0, 2),
+        # step 1: out-proj bwd: reads d_out, writes d_context (head layout)
+        TensorSpec("d_context", blh, 1, 3),
+        # step 2: probs@V bwd: reads d_context, writes d_probs and dV;
+        #         step 3: softmax bwd rewrites it in place as d_scores
+        TensorSpec("d_probs_scores", bl2n, 2, 5),
+        TensorSpec("d_v", blh, 2, 6),
+        # step 4: QK^T bwd: reads d_scores, writes dQ and dK
+        TensorSpec("d_q", blh, 4, 6),
+        TensorSpec("d_k", blh, 4, 6),
+        # step 5: packed QKV-proj bwd emits the input gradient
+        TensorSpec("d_input", blh, 5, 7),
+    ]

@@ -1,0 +1,208 @@
+"""Simulated GPU device: kernel-trace recording and execution context.
+
+Every numpy "kernel" in :mod:`repro.backend.kernels` performs its real math
+eagerly and then reports *what a GPU kernel doing the same work would have
+cost* — a :class:`KernelLaunch` record with element counts, FLOPs, and the
+storage precision.  The roofline model in :mod:`repro.sim.costmodel` replays
+a trace into simulated wall time for a given GPU spec.
+
+This is the substitution layer documented in DESIGN.md §2: kernel *fidelity*
+(launch counts, bytes moved, fusion structure) is preserved even though the
+arithmetic runs on the CPU.
+
+Usage::
+
+    dev = Device(lib="lightseq2")
+    with use_device(dev):
+        with dev.stage_scope("forward"):
+            y = layer.forward(x)
+    trace = dev.launches
+
+A process-global *null device* swallows records when no device is active, so
+kernels can call :func:`current_device` unconditionally with negligible
+overhead.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+#: canonical training-stage names, in paper (Fig. 3/4) order.
+STAGES = ("forward", "backward", "sync", "update")
+
+#: library tags used to select per-kernel efficiency in the cost model.
+LIBS = ("lightseq2", "pytorch", "deepspeed", "tensorflow", "apex")
+
+
+@dataclass(frozen=True)
+class KernelLaunch:
+    """One simulated GPU kernel launch.
+
+    ``elems_read``/``elems_written`` are element counts; bytes are derived as
+    ``elems * dtype_bytes`` so FP16 storage halves traffic, exactly as on the
+    GPU.  ``is_gemm`` marks cuBLAS-handled matmuls, which the cost model
+    prices with (tensor-core) FLOP throughput rather than launch-bound
+    element-wise efficiency.
+    """
+
+    name: str
+    elems_read: int
+    elems_written: int
+    flops: int = 0
+    is_gemm: bool = False
+    dtype_bytes: int = 4
+    stage: str = "forward"
+    lib: str = "lightseq2"
+
+    @property
+    def bytes_read(self) -> int:
+        return self.elems_read * self.dtype_bytes
+
+    @property
+    def bytes_written(self) -> int:
+        return self.elems_written * self.dtype_bytes
+
+    @property
+    def bytes_moved(self) -> int:
+        return self.bytes_read + self.bytes_written
+
+
+@dataclass
+class MemoryEvent:
+    """Allocator event for the Fig.-16 memory timeline."""
+
+    kind: str            # "alloc" | "free" | "reserve"
+    nbytes: int
+    reserved_total: int  # allocator-reported reserved bytes after the event
+    step: int = 0
+
+
+class Device:
+    """A simulated GPU accumulating a kernel trace and memory events."""
+
+    def __init__(self, name: str = "sim0", lib: str = "lightseq2",
+                 trace: bool = True):
+        if lib not in LIBS:
+            raise ValueError(f"unknown lib tag {lib!r}; expected one of {LIBS}")
+        self.name = name
+        self.lib = lib
+        self.trace_enabled = trace
+        self.launches: List[KernelLaunch] = []
+        self.mem_events: List[MemoryEvent] = []
+        self._stage = "forward"
+        self._step = 0
+
+    # -- kernel recording ---------------------------------------------------
+
+    def record(self, name: str, elems_read: int, elems_written: int,
+               flops: int = 0, is_gemm: bool = False,
+               dtype_bytes: int = 4) -> None:
+        """Record one kernel launch under the current stage."""
+        if not self.trace_enabled:
+            return
+        self.launches.append(KernelLaunch(
+            name=name,
+            elems_read=int(elems_read),
+            elems_written=int(elems_written),
+            flops=int(flops),
+            is_gemm=is_gemm,
+            dtype_bytes=dtype_bytes,
+            stage=self._stage,
+            lib=self.lib,
+        ))
+
+    def record_memory(self, kind: str, nbytes: int, reserved_total: int) -> None:
+        if not self.trace_enabled:
+            return
+        self.mem_events.append(
+            MemoryEvent(kind=kind, nbytes=int(nbytes),
+                        reserved_total=int(reserved_total), step=self._step))
+
+    # -- stage / step scoping -----------------------------------------------
+
+    @property
+    def stage(self) -> str:
+        return self._stage
+
+    @contextmanager
+    def stage_scope(self, stage: str) -> Iterator[None]:
+        """Attribute kernels launched inside the scope to ``stage``."""
+        if stage not in STAGES:
+            raise ValueError(f"unknown stage {stage!r}; expected one of {STAGES}")
+        prev, self._stage = self._stage, stage
+        try:
+            yield
+        finally:
+            self._stage = prev
+
+    def next_step(self) -> int:
+        """Advance the training-step counter used to timestamp mem events."""
+        self._step += 1
+        return self._step
+
+    # -- trace management ----------------------------------------------------
+
+    def reset(self) -> None:
+        self.launches.clear()
+        self.mem_events.clear()
+        self._step = 0
+
+    def launch_count(self, stage: Optional[str] = None) -> int:
+        if stage is None:
+            return len(self.launches)
+        return sum(1 for k in self.launches if k.stage == stage)
+
+    def total_bytes(self, stage: Optional[str] = None) -> int:
+        return sum(k.bytes_moved for k in self.launches
+                   if stage is None or k.stage == stage)
+
+    def total_flops(self, stage: Optional[str] = None) -> int:
+        return sum(k.flops for k in self.launches
+                   if stage is None or k.stage == stage)
+
+
+class _NullDevice(Device):
+    """Sink device used when no real device is active: records nothing."""
+
+    def __init__(self):
+        super().__init__(name="null", lib="lightseq2", trace=False)
+
+
+NULL_DEVICE = _NullDevice()
+
+_tls = threading.local()
+
+
+def _stack() -> List[Device]:
+    st = getattr(_tls, "stack", None)
+    if st is None:
+        st = []
+        _tls.stack = st
+    return st
+
+
+def current_device() -> Device:
+    """The innermost active device, or the null sink when none is active."""
+    st = _stack()
+    return st[-1] if st else NULL_DEVICE
+
+
+def push_device(dev: Device) -> None:
+    _stack().append(dev)
+
+
+def pop_device() -> Device:
+    return _stack().pop()
+
+
+@contextmanager
+def use_device(dev: Device) -> Iterator[Device]:
+    """Activate ``dev`` for the dynamic extent of the block."""
+    push_device(dev)
+    try:
+        yield dev
+    finally:
+        pop_device()

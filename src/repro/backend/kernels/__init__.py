@@ -1,0 +1,59 @@
+"""Numpy "CUDA kernels": real math + simulated launch records.
+
+Two parallel kernel families live here, mirroring the paper's comparison:
+
+* **naive** kernels — one launch per fine-grained op (separate bias add,
+  dropout, residual, two-pass LayerNorm, per-tensor optimizer updates …).
+  These model the PyTorch/Fairseq baseline's op-per-kernel execution.
+* **fused** kernels — one launch per coarse-grained chain (e.g.
+  ``bias + dropout + residual`` in a single kernel, one-pass LayerNorm
+  statistics, fused log-softmax criterion, single whole-model Adam).
+  These model the LightSeq2 CUDA kernels.
+
+Both families compute *identical* math (tests enforce bit-equality in FP32),
+so the only differences a cost model can see are launch counts, bytes moved,
+and storage precision — which is exactly the paper's claim.
+
+All kernels record onto :func:`repro.backend.device.current_device`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..device import current_device
+from ..dtypes import itemsize
+
+
+def record(name: str, elems_read: int, elems_written: int, *, flops: int = 0,
+           is_gemm: bool = False, fp16: bool = False) -> None:
+    """Record one kernel launch on the active device.
+
+    Thin wrapper so every kernel module shares the precision→bytes policy.
+    """
+    current_device().record(
+        name, elems_read, elems_written, flops=flops, is_gemm=is_gemm,
+        dtype_bytes=itemsize(fp16))
+
+
+def elems(*arrays: np.ndarray) -> int:
+    """Total element count across arrays (for traffic accounting)."""
+    return int(sum(a.size for a in arrays))
+
+
+from . import (  # noqa: E402  (re-export after helpers they depend on)
+    criterion,
+    elementwise,
+    embedding,
+    gemm,
+    layernorm,
+    optimizer,
+    padding,
+    softmax,
+    transform,
+)
+
+__all__ = [
+    "record", "elems", "gemm", "elementwise", "layernorm", "softmax",
+    "embedding", "criterion", "transform", "optimizer", "padding",
+]

@@ -1,0 +1,273 @@
+"""Element-wise kernels: naive singles and LightSeq2 fused chains.
+
+The paper (§3.1.1) classifies non-GEMM kernels into element-wise ones
+(Dropout, ReLU, reshape, bias add) whose element independence allows
+multi-kernel fusion, and batch-reduction ones (LayerNorm, Softmax) handled in
+their own modules.  Here:
+
+* ``*_naive`` functions launch **one kernel per op** — the PyTorch baseline.
+* fused functions implement whole chains (e.g. the last kernel of the
+  self-attention sublayer: *bias add + dropout + residual* in one launch,
+  exactly the example in the paper) with **one record** each.
+
+Dropout follows the standard *inverted* convention: during training
+``y = x * m / (1-p)`` with ``m ~ Bernoulli(1-p)``; the mask is stored as
+``uint8`` (1 byte/elem traffic, like the CUDA kernels) and reused verbatim in
+backward so fused and naive paths are bit-identical given the same mask.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from . import record
+
+# ---------------------------------------------------------------------------
+# naive single-op kernels (PyTorch-style: one launch each)
+# ---------------------------------------------------------------------------
+
+
+def bias_add_naive(x: np.ndarray, bias: np.ndarray, *,
+                   fp16: bool = False) -> np.ndarray:
+    """One kernel: broadcast bias add over the last dimension."""
+    y = x + bias
+    record("bias_add", x.size + bias.size, y.size, flops=y.size, fp16=fp16)
+    return y
+
+
+def bias_grad_naive(dy: np.ndarray, *, fp16: bool = False) -> np.ndarray:
+    """One kernel: reduce dy over all leading dims -> dbias."""
+    db = dy.reshape(-1, dy.shape[-1]).sum(axis=0)
+    record("bias_grad", dy.size, db.size, flops=dy.size, fp16=fp16)
+    return db
+
+
+def make_dropout_mask(shape: Tuple[int, ...], p: float,
+                      rng: np.random.Generator) -> np.ndarray:
+    """Bernoulli(1-p) keep-mask as uint8 (curand analog, not a launch)."""
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout p must be in [0, 1), got {p}")
+    if p == 0.0:
+        return np.ones(shape, dtype=np.uint8)
+    return (rng.random(shape) >= p).astype(np.uint8)
+
+
+def dropout_forward_naive(x: np.ndarray, p: float, rng: np.random.Generator,
+                          *, fp16: bool = False,
+                          mask: Optional[np.ndarray] = None
+                          ) -> Tuple[np.ndarray, np.ndarray]:
+    """One kernel: inverted dropout. Returns (y, mask)."""
+    if mask is None:
+        mask = make_dropout_mask(x.shape, p, rng)
+    scale = 1.0 / (1.0 - p) if p > 0 else 1.0
+    y = x * (mask * np.float32(scale))
+    record("dropout_fwd", x.size + mask.size // 4 + 1, y.size,
+           flops=2 * y.size, fp16=fp16)
+    return y, mask
+
+
+def dropout_backward_naive(dy: np.ndarray, mask: np.ndarray, p: float, *,
+                           fp16: bool = False) -> np.ndarray:
+    """One kernel: dx = dy * mask / (1-p)."""
+    scale = 1.0 / (1.0 - p) if p > 0 else 1.0
+    dx = dy * (mask * np.float32(scale))
+    record("dropout_bwd", dy.size + mask.size // 4 + 1, dx.size,
+           flops=2 * dx.size, fp16=fp16)
+    return dx
+
+
+def relu_forward_naive(x: np.ndarray, *, fp16: bool = False) -> np.ndarray:
+    y = np.maximum(x, 0.0)
+    record("relu_fwd", x.size, y.size, flops=x.size, fp16=fp16)
+    return y
+
+
+def relu_backward_naive(dy: np.ndarray, x: np.ndarray, *,
+                        fp16: bool = False) -> np.ndarray:
+    dx = dy * (x > 0.0)
+    record("relu_bwd", dy.size + x.size, dx.size, flops=2 * dx.size, fp16=fp16)
+    return dx
+
+
+_GELU_C = np.float32(np.sqrt(2.0 / np.pi))
+_GELU_A = np.float32(0.044715)
+
+
+def gelu_forward_naive(x: np.ndarray, *, fp16: bool = False) -> np.ndarray:
+    """tanh-approximation GeLU (the variant BERT and its CUDA kernels use)."""
+    inner = _GELU_C * (x + _GELU_A * x ** 3)
+    y = 0.5 * x * (1.0 + np.tanh(inner))
+    record("gelu_fwd", x.size, y.size, flops=8 * x.size, fp16=fp16)
+    return y
+
+
+def gelu_backward_naive(dy: np.ndarray, x: np.ndarray, *,
+                        fp16: bool = False) -> np.ndarray:
+    inner = _GELU_C * (x + _GELU_A * x ** 3)
+    t = np.tanh(inner)
+    dinner = _GELU_C * (1.0 + 3.0 * _GELU_A * x ** 2)
+    dx = dy * (0.5 * (1.0 + t) + 0.5 * x * (1.0 - t ** 2) * dinner)
+    record("gelu_bwd", dy.size + x.size, dx.size, flops=12 * dx.size,
+           fp16=fp16)
+    return dx
+
+
+def tanh_forward_naive(x: np.ndarray, *, fp16: bool = False) -> np.ndarray:
+    """One kernel: tanh (BERT pooler activation)."""
+    y = np.tanh(x)
+    record("tanh_fwd", x.size, y.size, flops=4 * x.size, fp16=fp16)
+    return y
+
+
+def tanh_backward_naive(dy: np.ndarray, y: np.ndarray, *,
+                        fp16: bool = False) -> np.ndarray:
+    """One kernel: dx = dy * (1 - y^2), using the saved output."""
+    dx = dy * (1.0 - y * y)
+    record("tanh_bwd", dy.size + y.size, dx.size, flops=3 * dx.size,
+           fp16=fp16)
+    return dx
+
+
+def bias_tanh_forward_fused(x: np.ndarray, bias: np.ndarray, *,
+                            fp16: bool = False) -> np.ndarray:
+    """Fused ``tanh(x + b)`` in one launch (LS pooler epilogue)."""
+    y = np.tanh(x + bias)
+    record("ls_bias_tanh_fwd", x.size + bias.size, y.size,
+           flops=5 * x.size, fp16=fp16)
+    return y
+
+
+def bias_tanh_backward_fused(dy: np.ndarray, y: np.ndarray, *,
+                             fp16: bool = False
+                             ) -> Tuple[np.ndarray, np.ndarray]:
+    """Fused backward of ``tanh(x + b)``: (dx, dbias) in one launch."""
+    dx = dy * (1.0 - y * y)
+    dbias = dx.reshape(-1, dx.shape[-1]).sum(axis=0)
+    record("ls_bias_tanh_bwd", dy.size + y.size, dx.size + dbias.size,
+           flops=4 * dx.size, fp16=fp16)
+    return dx, dbias
+
+
+def residual_add_naive(x: np.ndarray, residual: np.ndarray, *,
+                       fp16: bool = False) -> np.ndarray:
+    y = x + residual
+    record("residual_add", x.size + residual.size, y.size, flops=y.size,
+           fp16=fp16)
+    return y
+
+
+def scale_naive(x: np.ndarray, s: float, *, fp16: bool = False) -> np.ndarray:
+    y = x * np.float32(s)
+    record("scale", x.size, y.size, flops=x.size, fp16=fp16)
+    return y
+
+
+# ---------------------------------------------------------------------------
+# fused chains (LightSeq2-style: one launch per chain)
+# ---------------------------------------------------------------------------
+
+
+def bias_dropout_residual_forward(x: np.ndarray, bias: np.ndarray,
+                                  residual: np.ndarray, p: float,
+                                  rng: np.random.Generator, *,
+                                  fp16: bool = False,
+                                  mask: Optional[np.ndarray] = None
+                                  ) -> Tuple[np.ndarray, np.ndarray]:
+    """Fused ``dropout(x + b) + residual`` — the paper's flagship example.
+
+    Replaces three naive launches (bias add, dropout, residual) and two
+    intermediate tensors with a single kernel.
+    """
+    if mask is None:
+        mask = make_dropout_mask(x.shape, p, rng)
+    scale = 1.0 / (1.0 - p) if p > 0 else 1.0
+    y = (x + bias) * (mask * np.float32(scale)) + residual
+    record("ls_bias_dropout_residual_fwd",
+           x.size + bias.size + residual.size + mask.size // 4 + 1, y.size,
+           flops=4 * y.size, fp16=fp16)
+    return y, mask
+
+
+def bias_dropout_residual_backward(dy: np.ndarray, mask: np.ndarray,
+                                   p: float, *, fp16: bool = False
+                                   ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Fused backward: returns (dx, dbias, dresidual) in one launch.
+
+    ``dresidual`` is ``dy`` itself (no extra traffic on the GPU; here we
+    return the same array, mirroring the in-place reuse of Fig. 8).
+    """
+    scale = 1.0 / (1.0 - p) if p > 0 else 1.0
+    dx = dy * (mask * np.float32(scale))
+    dbias = dx.reshape(-1, dx.shape[-1]).sum(axis=0)
+    record("ls_bias_dropout_residual_bwd",
+           dy.size + mask.size // 4 + 1, dx.size + dbias.size,
+           flops=3 * dx.size, fp16=fp16)
+    return dx, dbias, dy
+
+
+def bias_act_dropout_forward(x: np.ndarray, bias: np.ndarray, p: float,
+                             rng: np.random.Generator, *,
+                             activation: str = "relu", fp16: bool = False,
+                             mask: Optional[np.ndarray] = None
+                             ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Fused FFN inner chain: ``dropout(act(x + b))`` in one launch.
+
+    Returns ``(y, mask, pre_act)`` — ``pre_act = x + b`` is saved for
+    backward, as the CUDA kernel does.
+    """
+    pre = x + bias
+    if activation == "relu":
+        a = np.maximum(pre, 0.0)
+    elif activation == "gelu":
+        inner = _GELU_C * (pre + _GELU_A * pre ** 3)
+        a = 0.5 * pre * (1.0 + np.tanh(inner))
+    else:
+        raise ValueError(f"unknown activation {activation!r}")
+    if mask is None:
+        mask = make_dropout_mask(x.shape, p, rng)
+    scale = 1.0 / (1.0 - p) if p > 0 else 1.0
+    y = a * (mask * np.float32(scale))
+    record("ls_bias_act_dropout_fwd",
+           x.size + bias.size + mask.size // 4 + 1, y.size + pre.size,
+           flops=10 * y.size, fp16=fp16)
+    return y, mask, pre
+
+
+def bias_act_dropout_backward(dy: np.ndarray, mask: np.ndarray,
+                              pre_act: np.ndarray, p: float, *,
+                              activation: str = "relu", fp16: bool = False
+                              ) -> Tuple[np.ndarray, np.ndarray]:
+    """Fused backward of ``dropout(act(x + b))``: (dx, dbias), one launch."""
+    scale = 1.0 / (1.0 - p) if p > 0 else 1.0
+    da = dy * (mask * np.float32(scale))
+    if activation == "relu":
+        dx = da * (pre_act > 0.0)
+    elif activation == "gelu":
+        inner = _GELU_C * (pre_act + _GELU_A * pre_act ** 3)
+        t = np.tanh(inner)
+        dinner = _GELU_C * (1.0 + 3.0 * _GELU_A * pre_act ** 2)
+        dx = da * (0.5 * (1.0 + t) + 0.5 * pre_act * (1.0 - t ** 2) * dinner)
+    else:
+        raise ValueError(f"unknown activation {activation!r}")
+    dbias = dx.reshape(-1, dx.shape[-1]).sum(axis=0)
+    record("ls_bias_act_dropout_bwd",
+           dy.size + mask.size // 4 + 1 + pre_act.size,
+           dx.size + dbias.size, flops=14 * dx.size, fp16=fp16)
+    return dx, dbias
+
+
+def dropout_residual_forward(x: np.ndarray, residual: np.ndarray, p: float,
+                             rng: np.random.Generator, *, fp16: bool = False,
+                             mask: Optional[np.ndarray] = None
+                             ) -> Tuple[np.ndarray, np.ndarray]:
+    """Fused ``dropout(x) + residual`` (used after the out-proj has no bias)."""
+    if mask is None:
+        mask = make_dropout_mask(x.shape, p, rng)
+    scale = 1.0 / (1.0 - p) if p > 0 else 1.0
+    y = x * (mask * np.float32(scale)) + residual
+    record("ls_dropout_residual_fwd",
+           x.size + residual.size + mask.size // 4 + 1, y.size,
+           flops=3 * y.size, fp16=fp16)
+    return y, mask

@@ -1,0 +1,75 @@
+"""GEMM kernels — the cuBLAS analog.
+
+The paper leaves GEMM to cuBLAS ("GEMM has already been handled by the cuBLAS
+library efficiently") and fuses only non-GEMM kernels, so both the baseline
+and the LightSeq2 execution paths share these wrappers.  Each call records a
+single launch flagged ``is_gemm=True``; the cost model prices those with
+(tensor-core) FLOP throughput instead of the launch-bound element-wise curve.
+
+Shapes follow numpy ``matmul`` semantics, including batched GEMM with leading
+broadcast dimensions (the attention score/context products).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import record
+
+
+def _gemm_flops(a: np.ndarray, b: np.ndarray, out: np.ndarray) -> int:
+    """2*M*N*K flops for (possibly batched) a @ b."""
+    k = a.shape[-1]
+    return int(2 * out.size * k)
+
+
+def matmul(a: np.ndarray, b: np.ndarray, *, fp16: bool = False,
+           name: str = "gemm") -> np.ndarray:
+    """``a @ b`` as one cuBLAS GEMM launch."""
+    out = np.matmul(a, b)
+    record(name, a.size + b.size, out.size,
+           flops=_gemm_flops(a, b, out), is_gemm=True, fp16=fp16)
+    return out
+
+
+def linear_forward(x: np.ndarray, w: np.ndarray, *, fp16: bool = False,
+                   name: str = "gemm_linear") -> np.ndarray:
+    """Linear transform ``x @ w.T`` (fairseq weight layout: (out, in)).
+
+    Bias addition is *not* included: in the naive path it is a separate
+    element-wise kernel; in the fused path it is folded into the next
+    custom kernel (e.g. ``bias_dropout_residual``).  Keeping GEMM bias-free
+    makes the two paths share identical GEMM traces, as in the paper.
+    """
+    out = np.matmul(x, w.T)
+    record(name, x.size + w.size, out.size,
+           flops=_gemm_flops(x, w.T, out), is_gemm=True, fp16=fp16)
+    return out
+
+
+def linear_backward(x: np.ndarray, w: np.ndarray, dy: np.ndarray, *,
+                    fp16: bool = False, name: str = "gemm_linear") -> tuple:
+    """Backward of ``y = x @ w.T``: returns (dx, dw).
+
+    Two GEMM launches, matching cuBLAS usage in every training framework:
+    ``dx = dy @ w`` and ``dw = dy^T @ x`` (flattened over batch dims).
+    """
+    dx = np.matmul(dy, w)
+    record(name + "_dx", dy.size + w.size, dx.size,
+           flops=_gemm_flops(dy, w, dx), is_gemm=True, fp16=fp16)
+
+    dy2 = dy.reshape(-1, dy.shape[-1])
+    x2 = x.reshape(-1, x.shape[-1])
+    dw = np.matmul(dy2.T, x2)
+    record(name + "_dw", dy2.size + x2.size, dw.size,
+           flops=_gemm_flops(dy2.T, x2, dw), is_gemm=True, fp16=fp16)
+    return dx, dw
+
+
+def batched_matmul(a: np.ndarray, b: np.ndarray, *, fp16: bool = False,
+                   name: str = "gemm_batched") -> np.ndarray:
+    """Batched GEMM (attention QK^T and probs@V). One strided-batch launch."""
+    out = np.matmul(a, b)
+    record(name, a.size + b.size, out.size,
+           flops=_gemm_flops(a, b, out), is_gemm=True, fp16=fp16)
+    return out

@@ -1,0 +1,222 @@
+"""Softmax kernels — 3-step numerically-stable forward, fused variants.
+
+The paper's Softmax (§3.1.1) uses the standard overflow-safe recipe:
+
+1. reduce: ``x' = max_j x_j``
+2. reduce: ``Z = sum_j exp(x_j - x')``
+3. element-wise: ``y_i = exp(x_i - x') / Z``
+
+* The **naive** path is PyTorch-faithful: softmax itself is ONE generic
+  kernel, but it makes separate max/sum passes over global memory (~3x
+  element traffic) and, in attention, the *scale* and *mask add* ops are
+  separate kernels in front of it.
+* The **fused** path does everything (and, for attention, the 1/sqrt(d)
+  scaling and additive mask) in one shape-specialised launch with a
+  CUB-style block reduce holding intermediates in registers (~2x traffic).
+
+The criterion layer reuses step 3 "with additional logarithmic operations":
+:func:`log_softmax_forward_fused` emits ``log q`` directly.
+
+Backward: ``dx_i = y_i * (dy_i - sum_j dy_j y_j)`` — one reduction plus one
+element-wise apply (naive: 2 launches; fused: 1, with "four warps per block
+to run synchronizations in parallel" per the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from . import record
+
+
+def softmax_forward_naive(x: np.ndarray, *, axis: int = -1,
+                          fp16: bool = False) -> np.ndarray:
+    """Framework softmax: ONE generic kernel, multi-pass traffic.
+
+    The three numerical steps (max reduce, exp+sum reduce, normalize) make
+    separate passes over global memory — ~2 extra element reads compared
+    with the register-resident fused kernel.
+    """
+    xmax = x.max(axis=axis, keepdims=True)
+    e = np.exp(x - xmax)
+    y = e / e.sum(axis=axis, keepdims=True)
+    record("softmax_fwd", 2 * x.size, 2 * y.size, flops=5 * x.size,
+           fp16=fp16)
+    return y
+
+
+def softmax_forward_fused(x: np.ndarray, *, axis: int = -1,
+                          fp16: bool = False) -> np.ndarray:
+    """All three steps in one launch (CUB block reduce analog)."""
+    xmax = x.max(axis=axis, keepdims=True)
+    e = np.exp(x - xmax)
+    y = e / e.sum(axis=axis, keepdims=True)
+    record("ls_softmax_fwd", x.size, y.size, flops=5 * x.size, fp16=fp16)
+    return y
+
+
+def softmax_backward_naive(dy: np.ndarray, y: np.ndarray, *, axis: int = -1,
+                           fp16: bool = False) -> np.ndarray:
+    """Framework softmax backward: one kernel, dot-reduce pass + apply
+    pass over global memory."""
+    dot = (dy * y).sum(axis=axis, keepdims=True)
+    dx = y * (dy - dot)
+    record("softmax_bwd", 2 * (dy.size + y.size), dx.size,
+           flops=4 * dx.size, fp16=fp16)
+    return dx
+
+
+def softmax_backward_fused(dy: np.ndarray, y: np.ndarray, *, axis: int = -1,
+                           fp16: bool = False) -> np.ndarray:
+    """Single launch, parallel warp reductions."""
+    dot = (dy * y).sum(axis=axis, keepdims=True)
+    dx = y * (dy - dot)
+    record("ls_softmax_bwd", dy.size + y.size, dx.size, flops=4 * dx.size,
+           fp16=fp16)
+    return dx
+
+
+# ---------------------------------------------------------------------------
+# attention-score softmax:  softmax(scale * scores + mask)
+# ---------------------------------------------------------------------------
+
+
+def attn_softmax_forward_naive(scores: np.ndarray, scale: float,
+                               mask: Optional[np.ndarray], *,
+                               fp16: bool = False) -> np.ndarray:
+    """Baseline attention softmax: scale kernel, mask-add kernel, 3-step
+    softmax — up to 5 launches total."""
+    s = scores * np.float32(scale)
+    record("attn_scale", scores.size, s.size, flops=scores.size, fp16=fp16)
+    if mask is not None:
+        s = s + mask
+        record("attn_mask_add", s.size + mask.size, s.size, flops=s.size,
+               fp16=fp16)
+    return softmax_forward_naive(s, fp16=fp16)
+
+
+def attn_softmax_forward_fused(scores: np.ndarray, scale: float,
+                               mask: Optional[np.ndarray], *,
+                               fp16: bool = False) -> np.ndarray:
+    """Fused scale + mask + stable softmax: one launch."""
+    s = scores * np.float32(scale)
+    if mask is not None:
+        s = s + mask
+    smax = s.max(axis=-1, keepdims=True)
+    e = np.exp(s - smax)
+    y = e / e.sum(axis=-1, keepdims=True)
+    nread = scores.size + (mask.size if mask is not None else 0)
+    record("ls_attn_softmax_fwd", nread, y.size, flops=7 * scores.size,
+           fp16=fp16)
+    return y
+
+
+def attn_softmax_backward_naive(dy: np.ndarray, y: np.ndarray, scale: float,
+                                *, fp16: bool = False) -> np.ndarray:
+    """Baseline: softmax backward (2 launches) + un-scale kernel."""
+    ds = softmax_backward_naive(dy, y, fp16=fp16)
+    dscores = ds * np.float32(scale)
+    record("attn_unscale", ds.size, dscores.size, flops=ds.size, fp16=fp16)
+    return dscores
+
+
+def attn_softmax_backward_fused(dy: np.ndarray, y: np.ndarray, scale: float,
+                                *, fp16: bool = False) -> np.ndarray:
+    """Fused softmax backward with the scale folded in: one launch."""
+    dot = (dy * y).sum(axis=-1, keepdims=True)
+    dscores = y * (dy - dot) * np.float32(scale)
+    record("ls_attn_softmax_bwd", dy.size + y.size, dscores.size,
+           flops=5 * dy.size, fp16=fp16)
+    return dscores
+
+
+# ---------------------------------------------------------------------------
+# log-softmax (criterion step-3 modification)
+# ---------------------------------------------------------------------------
+
+
+def log_softmax_forward_fused(x: np.ndarray, *, axis: int = -1,
+                              fp16: bool = False
+                              ) -> Tuple[np.ndarray, np.ndarray]:
+    """Fused stable log-softmax: returns (log_q, q).
+
+    "We can slightly modify the last step with additional logarithmic
+    operations" — same two reductions, the final element-wise step emits
+    ``x - x' - log Z`` (and ``q`` for the backward) in one launch.
+    """
+    xmax = x.max(axis=axis, keepdims=True)
+    shifted = x - xmax
+    z = np.exp(shifted).sum(axis=axis, keepdims=True)
+    logq = shifted - np.log(z)
+    q = np.exp(logq)
+    record("ls_log_softmax_fwd", x.size, logq.size + q.size,
+           flops=6 * x.size, fp16=fp16)
+    return logq, q
+
+
+def log_softmax_forward_naive(x: np.ndarray, *, axis: int = -1,
+                              fp16: bool = False
+                              ) -> Tuple[np.ndarray, np.ndarray]:
+    """Baseline log-softmax: softmax (3 launches) then log kernel."""
+    q = softmax_forward_naive(x, axis=axis, fp16=fp16)
+    logq = np.log(np.maximum(q, np.finfo(np.float32).tiny))
+    record("log_kernel", q.size, logq.size, flops=q.size, fp16=fp16)
+    return logq, q
+
+
+# ---------------------------------------------------------------------------
+# fused attention softmax + dropout (LightSeq2 attention epilogue)
+# ---------------------------------------------------------------------------
+
+
+def attn_softmax_dropout_forward_fused(scores: np.ndarray, scale: float,
+                                       mask: Optional[np.ndarray],
+                                       p: float, rng, *,
+                                       fp16: bool = False,
+                                       dmask: Optional[np.ndarray] = None
+                                       ) -> Tuple[np.ndarray, np.ndarray,
+                                                  np.ndarray]:
+    """Scale + mask + stable softmax + attention dropout in ONE launch.
+
+    The LightSeq2 attention kernel keeps the softmax probabilities in
+    registers and applies dropout before writing back, saving a full
+    round-trip of the (B, N, L, L) tensor.  Returns
+    ``(dropped_probs, probs, dropout_mask)`` — probs are saved for the
+    backward, as the CUDA kernel stores them.
+    """
+    from .elementwise import make_dropout_mask
+    s = scores * np.float32(scale)
+    if mask is not None:
+        s = s + mask
+    smax = s.max(axis=-1, keepdims=True)
+    e = np.exp(s - smax)
+    probs = e / e.sum(axis=-1, keepdims=True)
+    if dmask is None:
+        dmask = make_dropout_mask(probs.shape, p, rng)
+    keep = 1.0 / (1.0 - p) if p > 0 else 1.0
+    dropped = probs * (dmask * np.float32(keep))
+    nread = scores.size + (mask.size if mask is not None else 0)
+    record("ls_attn_softmax_dropout_fwd", nread + dmask.size // 4 + 1,
+           dropped.size + probs.size, flops=9 * scores.size, fp16=fp16)
+    return dropped, probs, dmask
+
+
+def attn_softmax_dropout_backward_fused(dy: np.ndarray, probs: np.ndarray,
+                                        dmask: np.ndarray, scale: float,
+                                        p: float, *,
+                                        fp16: bool = False) -> np.ndarray:
+    """Fused backward of dropout∘softmax∘scale: one launch.
+
+    ``d_probs = dy * m/(1-p)``, then the softmax backward with the scale
+    folded in — all without materialising the intermediate gradient.
+    """
+    keep = 1.0 / (1.0 - p) if p > 0 else 1.0
+    d_probs = dy * (dmask * np.float32(keep))
+    dot = (d_probs * probs).sum(axis=-1, keepdims=True)
+    d_scores = probs * (d_probs - dot) * np.float32(scale)
+    record("ls_attn_softmax_dropout_bwd",
+           dy.size + probs.size + dmask.size // 4 + 1, d_scores.size,
+           flops=7 * dy.size, fp16=fp16)
+    return d_scores

@@ -1,0 +1,90 @@
+"""Reshape/transpose kernels for multi-head attention.
+
+On the GPU these layout changes are real copy kernels (PyTorch launches a
+``transpose``/``contiguous`` pair per head split).  LightSeq2 folds the bias
+add of the QKV projection into the head-split transpose, and packs Q, K, V
+into one tensor so the projection is a single GEMM.
+
+Shapes: hidden ``(B, L, H)`` <-> heads ``(B, N, L, D)`` with ``H = N * D``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from . import record
+
+
+def split_heads_naive(x: np.ndarray, nhead: int, *,
+                      fp16: bool = False) -> np.ndarray:
+    """(B, L, H) -> (B, N, L, D): one transpose-copy launch."""
+    b, l, h = x.shape
+    if h % nhead:
+        raise ValueError(f"hidden {h} not divisible by nhead {nhead}")
+    y = np.ascontiguousarray(
+        x.reshape(b, l, nhead, h // nhead).transpose(0, 2, 1, 3))
+    record("transpose_split_heads", x.size, y.size, fp16=fp16)
+    return y
+
+
+def merge_heads_naive(x: np.ndarray, *, fp16: bool = False) -> np.ndarray:
+    """(B, N, L, D) -> (B, L, H): one transpose-copy launch."""
+    b, n, l, d = x.shape
+    y = np.ascontiguousarray(x.transpose(0, 2, 1, 3)).reshape(b, l, n * d)
+    record("transpose_merge_heads", x.size, y.size, fp16=fp16)
+    return y
+
+
+def bias_split_heads_fused(x: np.ndarray, bias: np.ndarray, nhead: int, *,
+                           fp16: bool = False) -> np.ndarray:
+    """Fused ``(x + bias)`` + head split in one launch (LS QKV epilogue)."""
+    b, l, h = x.shape
+    y = np.ascontiguousarray(
+        (x + bias).reshape(b, l, nhead, h // nhead).transpose(0, 2, 1, 3))
+    record("ls_bias_split_heads", x.size + bias.size, y.size,
+           flops=x.size, fp16=fp16)
+    return y
+
+
+def qkv_bias_split_heads_fused(qkv: np.ndarray, bias: np.ndarray,
+                               nhead: int, *, fp16: bool = False
+                               ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Fused epilogue of the packed QKV GEMM: add bias, split into Q/K/V,
+    split heads — one launch producing three head-major tensors.
+
+    ``qkv``: (B, L, 3H); ``bias``: (3H,).
+    """
+    b, l, h3 = qkv.shape
+    if h3 % 3:
+        raise ValueError(f"packed QKV last dim {h3} not divisible by 3")
+    h = h3 // 3
+    if h % nhead:
+        raise ValueError(f"hidden {h} not divisible by nhead {nhead}")
+    d = h // nhead
+    y = (qkv + bias).reshape(b, l, 3, nhead, d).transpose(2, 0, 3, 1, 4)
+    q = np.ascontiguousarray(y[0])
+    k = np.ascontiguousarray(y[1])
+    v = np.ascontiguousarray(y[2])
+    record("ls_qkv_bias_split_heads", qkv.size + bias.size, qkv.size,
+           flops=qkv.size, fp16=fp16)
+    return q, k, v
+
+
+def qkv_merge_heads_fused(dq: np.ndarray, dk: np.ndarray, dv: np.ndarray, *,
+                          fp16: bool = False
+                          ) -> Tuple[np.ndarray, np.ndarray]:
+    """Backward of :func:`qkv_bias_split_heads_fused`: repack head-major
+    dQ/dK/dV into a (B, L, 3H) gradient plus the fused bias gradient —
+    one launch."""
+    b, n, l, d = dq.shape
+    h = n * d
+    dqkv = np.empty((b, l, 3 * h), dtype=dq.dtype)
+    dqkv[:, :, :h] = dq.transpose(0, 2, 1, 3).reshape(b, l, h)
+    dqkv[:, :, h:2 * h] = dk.transpose(0, 2, 1, 3).reshape(b, l, h)
+    dqkv[:, :, 2 * h:] = dv.transpose(0, 2, 1, 3).reshape(b, l, h)
+    dbias = dqkv.reshape(-1, 3 * h).sum(axis=0)
+    record("ls_qkv_merge_heads_bwd", dq.size + dk.size + dv.size,
+           dqkv.size + dbias.size, flops=dqkv.size, fp16=fp16)
+    return dqkv, dbias

@@ -1,0 +1,119 @@
+"""Trace aggregation utilities.
+
+Summarise a :class:`~repro.backend.device.Device` kernel trace by stage,
+kernel name, or category — the raw material for the Fig.-4 stage breakdown
+and the per-kernel efficiency figures (Figs. 13–15).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping
+
+from .device import STAGES, KernelLaunch
+
+
+@dataclass
+class KernelStats:
+    """Aggregated statistics for a group of kernel launches."""
+
+    launches: int = 0
+    elems_read: int = 0
+    elems_written: int = 0
+    bytes_moved: int = 0
+    flops: int = 0
+    gemm_launches: int = 0
+
+    def add(self, k: KernelLaunch) -> None:
+        self.launches += 1
+        self.elems_read += k.elems_read
+        self.elems_written += k.elems_written
+        self.bytes_moved += k.bytes_moved
+        self.flops += k.flops
+        if k.is_gemm:
+            self.gemm_launches += 1
+
+    def merge(self, other: "KernelStats") -> "KernelStats":
+        out = KernelStats()
+        for src in (self, other):
+            out.launches += src.launches
+            out.elems_read += src.elems_read
+            out.elems_written += src.elems_written
+            out.bytes_moved += src.bytes_moved
+            out.flops += src.flops
+            out.gemm_launches += src.gemm_launches
+        return out
+
+
+def by_stage(trace: Iterable[KernelLaunch]) -> Dict[str, KernelStats]:
+    """Group a trace into per-training-stage aggregates (Fig. 4 axes)."""
+    out: Dict[str, KernelStats] = {s: KernelStats() for s in STAGES}
+    for k in trace:
+        out[k.stage].add(k)
+    return out
+
+
+def by_kernel(trace: Iterable[KernelLaunch]) -> Dict[str, KernelStats]:
+    """Group a trace by kernel name."""
+    out: Dict[str, KernelStats] = defaultdict(KernelStats)
+    for k in trace:
+        out[k.name].add(k)
+    return dict(out)
+
+
+def split_gemm(trace: Iterable[KernelLaunch]) -> Dict[str, KernelStats]:
+    """Split a trace into GEMM vs non-GEMM aggregates.
+
+    The paper's fusion work targets only non-GEMM kernels (cuBLAS already
+    handles GEMM); this split quantifies how much of the budget that is.
+    """
+    out = {"gemm": KernelStats(), "non_gemm": KernelStats()}
+    for k in trace:
+        out["gemm" if k.is_gemm else "non_gemm"].add(k)
+    return out
+
+
+def format_stage_table(stats: Mapping[str, KernelStats]) -> str:
+    """Human-readable per-stage table (used by examples and benches)."""
+    rows = [f"{'stage':<10}{'launches':>10}{'MB moved':>12}{'GFLOPs':>10}"]
+    for stage in STAGES:
+        s = stats.get(stage, KernelStats())
+        rows.append(
+            f"{stage:<10}{s.launches:>10}"
+            f"{s.bytes_moved / 1e6:>12.2f}{s.flops / 1e9:>10.3f}")
+    return "\n".join(rows)
+
+
+@dataclass
+class TraceDiff:
+    """Launch/byte reduction of one trace relative to a baseline."""
+
+    launch_ratio: float
+    bytes_ratio: float
+    flops_ratio: float
+
+
+def compare(baseline: Iterable[KernelLaunch],
+            optimized: Iterable[KernelLaunch]) -> TraceDiff:
+    """How much smaller is ``optimized`` than ``baseline``?
+
+    Ratios are optimized/baseline, so fusion should drive ``launch_ratio``
+    and ``bytes_ratio`` well below 1 while ``flops_ratio`` stays ≈1 (fusion
+    removes traffic and launches, not arithmetic).
+    """
+    def _tot(tr):
+        launches = bytes_ = flops = 0
+        for k in tr:
+            launches += 1
+            bytes_ += k.bytes_moved
+            flops += k.flops
+        return launches, bytes_, flops
+
+    bl, bb, bf = _tot(baseline)
+    ol, ob, of = _tot(optimized)
+    return TraceDiff(
+        launch_ratio=ol / bl if bl else float("nan"),
+        bytes_ratio=ob / bb if bb else float("nan"),
+        flops_ratio=of / bf if bf else float("nan"),
+    )

@@ -1,0 +1,17 @@
+"""Benchmark harness: one reproduction per paper table/figure.
+
+Run everything::
+
+    python -m repro.bench            # quick scale
+    REPRO_BENCH_SCALE=paper python -m repro.bench fig09 table2
+"""
+
+from . import figures, harness, tracegen
+from .figures import ALL_EXPERIMENTS, run_all
+from .harness import ExperimentResult, ShapeClaim, bench_scale
+
+__all__ = [
+    "figures", "harness", "tracegen",
+    "ALL_EXPERIMENTS", "run_all",
+    "ExperimentResult", "ShapeClaim", "bench_scale",
+]

@@ -1,0 +1,63 @@
+"""CLI: run paper-figure reproductions and print their tables.
+
+Usage::
+
+    python -m repro.bench                 # all experiments, quick scale
+    python -m repro.bench fig09 fig13     # a subset
+    REPRO_BENCH_SCALE=paper python -m repro.bench   # paper-sized models
+    python -m repro.bench --report EXPERIMENTS.md   # write the report
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from .figures import ALL_EXPERIMENTS
+from .harness import bench_scale
+
+
+def main(argv: list[str]) -> int:
+    report_path = None
+    if "--report" in argv:
+        i = argv.index("--report")
+        try:
+            report_path = argv[i + 1]
+        except IndexError:
+            print("--report needs a file path")
+            return 2
+        argv = argv[:i] + argv[i + 2:]
+    names = [a for a in argv if not a.startswith("-")]
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}; "
+              f"available: {sorted(ALL_EXPERIMENTS)}")
+        return 2
+    scale = bench_scale()
+    print(f"scale = {scale} (set REPRO_BENCH_SCALE=paper for full size)\n")
+    failed = 0
+    done_names, done_results = [], []
+    for name, fn in ALL_EXPERIMENTS.items():
+        if names and name not in names:
+            continue
+        t0 = time.perf_counter()
+        result = fn(scale)
+        dt = time.perf_counter() - t0
+        print(result.format())
+        print(f"({dt:.1f}s)\n")
+        failed += len(result.failed_claims())
+        done_names.append(name)
+        done_results.append(result)
+    if report_path:
+        from .report import write_report
+        write_report(done_results, done_names, report_path, scale)
+        print(f"report written to {report_path}")
+    if failed:
+        print(f"{failed} shape claim(s) FAILED")
+        return 1
+    print("all shape claims hold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,109 @@
+"""Experiment harness: result tables and paper-shape claim checking.
+
+Every figure/table reproduction in :mod:`repro.bench.figures` returns an
+:class:`ExperimentResult` — named rows plus a list of :class:`ShapeClaim`
+outcomes, each corresponding to a qualitative statement the paper makes
+about that figure ("speedup decreases with batch size", "A100 > V100", …).
+Benchmarks assert the claims; EXPERIMENTS.md records paper-vs-measured.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, List, Sequence
+
+
+@dataclass
+class ShapeClaim:
+    """One qualitative claim from the paper, checked against our numbers."""
+
+    description: str
+    holds: bool
+    detail: str = ""
+
+    def __str__(self) -> str:
+        mark = "PASS" if self.holds else "FAIL"
+        s = f"[{mark}] {self.description}"
+        if self.detail:
+            s += f"  ({self.detail})"
+        return s
+
+
+@dataclass
+class ExperimentResult:
+    """A reproduced table/figure: rows + checked claims."""
+
+    name: str
+    headers: List[str]
+    rows: List[Sequence[Any]]
+    claims: List[ShapeClaim] = field(default_factory=list)
+    notes: str = ""
+
+    def claim(self, description: str, holds: bool, detail: str = "") -> None:
+        self.claims.append(ShapeClaim(description, bool(holds), detail))
+
+    @property
+    def all_claims_hold(self) -> bool:
+        return all(c.holds for c in self.claims)
+
+    def failed_claims(self) -> List[ShapeClaim]:
+        return [c for c in self.claims if not c.holds]
+
+    def format(self, float_fmt: str = "{:.3f}") -> str:
+        """Monospace table + claim list."""
+        def cell(v: Any) -> str:
+            if isinstance(v, float):
+                return float_fmt.format(v)
+            return str(v)
+
+        table = [[str(h) for h in self.headers]] + \
+                [[cell(v) for v in row] for row in self.rows]
+        widths = [max(len(r[c]) for r in table)
+                  for c in range(len(self.headers))]
+        lines = [f"== {self.name} =="]
+        for i, r in enumerate(table):
+            lines.append("  ".join(v.rjust(w) for v, w in zip(r, widths)))
+            if i == 0:
+                lines.append("  ".join("-" * w for w in widths))
+        if self.notes:
+            lines.append(f"note: {self.notes}")
+        for c in self.claims:
+            lines.append(str(c))
+        return "\n".join(lines)
+
+
+def bench_scale(default: str = "quick") -> str:
+    """Experiment scale from the environment: "quick" (CI-sized models,
+    seconds) or "paper" (the paper's model sizes, minutes).
+
+    Set ``REPRO_BENCH_SCALE=paper`` to regenerate EXPERIMENTS.md numbers.
+    """
+    scale = os.environ.get("REPRO_BENCH_SCALE", default)
+    if scale not in ("quick", "paper"):
+        raise ValueError(f"REPRO_BENCH_SCALE must be quick|paper, got {scale}")
+    return scale
+
+
+# -- generic trend predicates -------------------------------------------------
+
+
+def monotone_decreasing(xs: Sequence[float], tol: float = 0.0) -> bool:
+    """True if xs never increases by more than ``tol`` (relative)."""
+    return all(b <= a * (1 + tol) for a, b in zip(xs, xs[1:]))
+
+
+def monotone_increasing(xs: Sequence[float], tol: float = 0.0) -> bool:
+    return all(b >= a * (1 - tol) for a, b in zip(xs, xs[1:]))
+
+
+def within(x: float, lo: float, hi: float) -> bool:
+    return lo <= x <= hi
+
+
+def relative_spread(xs: Sequence[float]) -> float:
+    """(max-min)/mean — "stays flat" claims check this is small."""
+    if not xs:
+        return float("nan")
+    m = sum(xs) / len(xs)
+    return (max(xs) - min(xs)) / m if m else float("inf")

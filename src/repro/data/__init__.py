@@ -1,0 +1,16 @@
+"""Synthetic data: WMT-shaped MT corpus, LM blocks, MRPC pairs, images."""
+
+from .batching import (MTBatch, batch_by_tokens, make_mt_batch,
+                       max_batch_footprint, pad_sequences, scan_corpus_shapes)
+from .synthetic import (SentencePair, SyntheticLMCorpus,
+                        SyntheticTranslationCorpus, synthetic_images,
+                        synthetic_sentence_pairs)
+from .vocab import BOS, EOS, PAD, UNK, Vocab
+
+__all__ = [
+    "Vocab", "BOS", "PAD", "EOS", "UNK",
+    "SentencePair", "SyntheticTranslationCorpus", "SyntheticLMCorpus",
+    "synthetic_sentence_pairs", "synthetic_images",
+    "MTBatch", "make_mt_batch", "batch_by_tokens", "pad_sequences",
+    "scan_corpus_shapes", "max_batch_footprint",
+]

@@ -1,0 +1,125 @@
+"""Token-budget batching with padding — the fairseq ``--max-tokens`` flow.
+
+Machine-translation batches are sized by *token count*, not sentence count:
+sentences are length-bucketed and greedily packed so that
+``batch_size * max_len_in_batch <= max_tokens``.  This is what makes batch
+shapes vary step to step — the behaviour the §3.3 memory manager (corpus
+scan + one-time allocation) exists to handle.
+
+Targets follow fairseq teacher forcing: ``tgt_input`` is the EOS-rotated
+target (EOS first, as fairseq moves EOS to the front for the decoder
+input), ``tgt_output`` the original EOS-terminated sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .synthetic import SentencePair
+from .vocab import EOS, PAD
+
+
+@dataclass(frozen=True)
+class MTBatch:
+    """One padded machine-translation batch."""
+
+    src_tokens: np.ndarray   # (B, Ls) int64, PAD-padded
+    tgt_input: np.ndarray    # (B, Lt) decoder input
+    tgt_output: np.ndarray   # (B, Lt) prediction targets
+
+    @property
+    def batch_size(self) -> int:
+        return self.src_tokens.shape[0]
+
+    @property
+    def max_len(self) -> int:
+        return max(self.src_tokens.shape[1], self.tgt_input.shape[1])
+
+    @property
+    def num_tokens(self) -> int:
+        """Padded token count of the larger side (allocator sizing)."""
+        return self.batch_size * self.max_len
+
+    def as_tuple(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        return self.src_tokens, self.tgt_input, self.tgt_output
+
+
+def pad_sequences(seqs: Sequence[np.ndarray], pad: int = PAD) -> np.ndarray:
+    """Right-pad 1-D int sequences to a (N, max_len) array."""
+    if not seqs:
+        raise ValueError("no sequences to pad")
+    ml = max(len(s) for s in seqs)
+    out = np.full((len(seqs), ml), pad, dtype=np.int64)
+    for i, s in enumerate(seqs):
+        out[i, :len(s)] = s
+    return out
+
+
+def make_mt_batch(pairs: Sequence[SentencePair]) -> MTBatch:
+    """Pad a group of sentence pairs into one batch."""
+    src = pad_sequences([p.source for p in pairs])
+    tgt_out = pad_sequences([p.target for p in pairs])
+    # fairseq decoder input: EOS moved to the front, rest shifted right
+    tgt_in = np.full_like(tgt_out, PAD)
+    tgt_in[:, 0] = EOS
+    for i, p in enumerate(pairs):
+        n = len(p.target)
+        tgt_in[i, 1:n] = p.target[:n - 1]
+    return MTBatch(src_tokens=src, tgt_input=tgt_in, tgt_output=tgt_out)
+
+
+def batch_by_tokens(pairs: Sequence[SentencePair], max_tokens: int, *,
+                    shuffle_seed: int | None = None,
+                    bucket: bool = True) -> List[MTBatch]:
+    """Greedy token-budget batching (fairseq-style).
+
+    ``bucket=True`` sorts by target length first so batches are
+    length-homogeneous (less padding); batch order is then shuffled if a
+    seed is given — which is exactly why a long-sentence batch can arrive
+    mid-training and grow PyTorch's allocator pool (Fig. 16).
+    """
+    if max_tokens < 2:
+        raise ValueError("max_tokens must be >= 2")
+    idx = list(range(len(pairs)))
+    if bucket:
+        idx.sort(key=lambda i: (len(pairs[i].target), len(pairs[i].source)))
+    batches: List[MTBatch] = []
+    cur: List[SentencePair] = []
+    cur_max = 0
+    for i in idx:
+        p = pairs[i]
+        ln = max(len(p.source), len(p.target))
+        if ln > max_tokens:
+            raise ValueError(
+                f"sentence of length {ln} exceeds the {max_tokens}-token "
+                f"budget; truncate the corpus or raise max_tokens")
+        new_max = max(cur_max, ln)
+        if cur and (len(cur) + 1) * new_max > max_tokens:
+            batches.append(make_mt_batch(cur))
+            cur, cur_max = [p], ln
+        else:
+            cur.append(p)
+            cur_max = new_max
+    if cur:
+        batches.append(make_mt_batch(cur))
+    if shuffle_seed is not None:
+        rng = np.random.default_rng(shuffle_seed)
+        rng.shuffle(batches)
+    return batches
+
+
+def scan_corpus_shapes(batches: Sequence[MTBatch]
+                       ) -> List[Tuple[int, int]]:
+    """(batch_size, max_len) of every batch — input to the §3.3 scan."""
+    return [(b.batch_size, b.max_len) for b in batches]
+
+
+def max_batch_footprint(batches: Sequence[MTBatch]) -> Tuple[int, int]:
+    """The worst-case (batch_size, max_len) by padded token count."""
+    if not batches:
+        raise ValueError("empty batch list")
+    worst = max(batches, key=lambda b: b.num_tokens)
+    return worst.batch_size, worst.max_len

@@ -1,0 +1,133 @@
+"""Synthetic workloads with the paper tasks' statistical shape.
+
+The speed/memory experiments depend on the *shape* of the data — sentence-
+length distribution (variable-length batches drive the allocator behaviour
+of Fig. 16), vocabulary size (criterion/embedding cost), token frequency
+skew (embedding scatter-add collision rate) — not on its content.  Each
+generator documents which statistics it preserves:
+
+* :class:`SyntheticTranslationCorpus` — WMT14-En-De-like: sentence lengths
+  log-normal (median ≈ 23 tokens, heavy right tail, clipped to max_len);
+  source/target lengths correlated (ratio ≈ N(1.0, 0.15)); Zipf token
+  frequencies (exponent ≈ 1.1, as in natural text).
+* :class:`SyntheticLMCorpus` — fixed-block next-token prediction (GPT).
+* :func:`synthetic_sentence_pairs` — MRPC-like single-segment inputs
+  (two sentences concatenated, ≤ 128 tokens, batch of labels).
+* :func:`synthetic_images` — CIFAR-10-like labelled images upsampled to
+  224×224, as the paper's ViT experiments do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from .vocab import EOS, FIRST_CONTENT_ID, Vocab
+
+
+def _zipf_probs(n: int, exponent: float = 1.1) -> np.ndarray:
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    p = ranks ** -exponent
+    return p / p.sum()
+
+
+@dataclass(frozen=True)
+class SentencePair:
+    """One tokenised translation example (EOS-terminated, no padding)."""
+
+    source: np.ndarray
+    target: np.ndarray
+
+
+class SyntheticTranslationCorpus:
+    """WMT-shaped parallel corpus generator."""
+
+    #: log-normal parameters fitted to WMT14 En–De training lengths.
+    LEN_MU = 3.1          # median exp(3.1) ≈ 22 tokens
+    LEN_SIGMA = 0.55
+
+    def __init__(self, vocab_size: int, max_len: int = 256,
+                 seed: int = 0, zipf_exponent: float = 1.1):
+        self.vocab = Vocab(vocab_size)
+        if max_len < 2:
+            raise ValueError("max_len must allow at least 1 token + EOS")
+        self.max_len = max_len
+        self.rng = np.random.default_rng(seed)
+        self._probs = _zipf_probs(self.vocab.num_content, zipf_exponent)
+
+    def _sample_len(self) -> int:
+        raw = int(np.exp(self.rng.normal(self.LEN_MU, self.LEN_SIGMA)))
+        return int(np.clip(raw, 1, self.max_len - 1))   # room for EOS
+
+    def _sample_tokens(self, n: int) -> np.ndarray:
+        ids = self.rng.choice(self.vocab.num_content, size=n, p=self._probs)
+        return (ids + FIRST_CONTENT_ID).astype(np.int64)
+
+    def sample_pair(self) -> SentencePair:
+        src_len = self._sample_len()
+        ratio = self.rng.normal(1.0, 0.15)
+        tgt_len = int(np.clip(round(src_len * ratio), 1, self.max_len - 1))
+        src = np.concatenate([self._sample_tokens(src_len), [EOS]])
+        tgt = np.concatenate([self._sample_tokens(tgt_len), [EOS]])
+        return SentencePair(source=src, target=tgt)
+
+    def sample(self, n: int) -> List[SentencePair]:
+        return [self.sample_pair() for _ in range(n)]
+
+
+class SyntheticLMCorpus:
+    """Fixed-block causal-LM stream (GPT workload)."""
+
+    def __init__(self, vocab_size: int, block_len: int = 128, seed: int = 0):
+        self.vocab = Vocab(vocab_size)
+        if block_len < 2:
+            raise ValueError("block_len must be >= 2")
+        self.block_len = block_len
+        self.rng = np.random.default_rng(seed)
+        self._probs = _zipf_probs(self.vocab.num_content)
+
+    def sample_batch(self, batch_size: int
+                     ) -> Tuple[np.ndarray, np.ndarray]:
+        """Returns (inputs, targets), both (B, block_len), shifted by one."""
+        ids = self.rng.choice(self.vocab.num_content,
+                              size=(batch_size, self.block_len + 1),
+                              p=self._probs) + FIRST_CONTENT_ID
+        return ids[:, :-1].astype(np.int64), ids[:, 1:].astype(np.int64)
+
+
+def synthetic_sentence_pairs(n: int, *, vocab_size: int = 30522,
+                             max_len: int = 128, pad_idx: int = 0,
+                             num_classes: int = 2, seed: int = 0
+                             ) -> Tuple[np.ndarray, np.ndarray]:
+    """MRPC-shaped classification batch: (tokens (N, max_len), labels (N,)).
+
+    Sequences have variable true length (two concatenated "sentences",
+    lengths ~ N(40, 12) total, clipped to [8, max_len]) and are padded with
+    ``pad_idx`` — BERT's <pad>=0 convention.
+    """
+    rng = np.random.default_rng(seed)
+    tokens = np.full((n, max_len), pad_idx, dtype=np.int64)
+    lens = np.clip(rng.normal(40, 12, size=n).astype(int), 8, max_len)
+    for i, ln in enumerate(lens):
+        # avoid the pad id inside real content
+        row = rng.integers(pad_idx + 1, vocab_size, size=ln)
+        tokens[i, :ln] = row
+    labels = rng.integers(0, num_classes, size=n).astype(np.int64)
+    return tokens, labels
+
+
+def synthetic_images(n: int, *, image_size: int = 224, channels: int = 3,
+                     num_classes: int = 10, seed: int = 0
+                     ) -> Tuple[np.ndarray, np.ndarray]:
+    """CIFAR-10-like batch: (images (N, C, S, S) float32 ~N(0,1), labels).
+
+    The paper upsamples CIFAR-10 to 224×224; pixel *values* don't affect
+    training speed, so standard-normal noise (already normalised) suffices.
+    """
+    rng = np.random.default_rng(seed)
+    images = rng.standard_normal((n, channels, image_size, image_size)
+                                 ).astype(np.float32)
+    labels = rng.integers(0, num_classes, size=n).astype(np.int64)
+    return images, labels

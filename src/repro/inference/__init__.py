@@ -1,0 +1,5 @@
+"""Inference: incremental greedy/beam decoding over trained models."""
+
+from .decoding import Hypothesis, IncrementalDecoder
+
+__all__ = ["IncrementalDecoder", "Hypothesis"]

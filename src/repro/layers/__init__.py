@@ -1,0 +1,22 @@
+"""LightSeq2 layers: embedding, encoder, decoder, criterion, projection.
+
+Every layer exists in two execution modes selected by ``config.fused``:
+LightSeq2 fused kernels or the naive per-op baseline — with identical math
+(tests enforce equality), so speed comparisons isolate the systems work.
+"""
+
+from .attention import MultiHeadAttention, causal_mask, combine_masks, padding_mask
+from .base import Layer, Parameter
+from .criterion import LSCrossEntropyLayer
+from .decoder import LSTransformerDecoderLayer
+from .embedding import LSEmbeddingLayer
+from .encoder import LSTransformerEncoderLayer
+from .ffn import FeedForward
+from .projection import OutputProjection
+
+__all__ = [
+    "Layer", "Parameter", "MultiHeadAttention", "FeedForward",
+    "LSTransformerEncoderLayer", "LSTransformerDecoderLayer",
+    "LSEmbeddingLayer", "LSCrossEntropyLayer", "OutputProjection",
+    "padding_mask", "causal_mask", "combine_masks",
+]

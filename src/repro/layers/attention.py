@@ -1,0 +1,283 @@
+"""Multi-head attention with hand-written backward — fused & naive paths.
+
+Covers both attention flavours the paper needs:
+
+* **self-attention** (encoder, and decoder with a causal mask) — packed QKV
+  projection: one parameter matrix ``w_qkv`` of shape (3H, H).  The fused
+  path runs a single QKV GEMM whose bias-add + head-split epilogue is one
+  custom kernel; the naive path launches three GEMMs on the packed weight's
+  slices plus separate bias/transpose kernels, as framework modules do.
+* **cross-attention** (decoder over encoder output) — separate ``w_q``,
+  ``w_k``, ``w_v``; this is the computation DeepSpeed cannot express and the
+  reason LightSeq2 extends fusion to the decoder.
+
+The output projection GEMM is bias-*free* here: its bias is folded into the
+enclosing sublayer's fused ``bias + dropout + residual`` kernel (Fig. 5), or
+added by a separate naive kernel at that level.
+
+Masks are additive FP32 tensors broadcastable to (B, N, Lq, Lk); helpers
+:func:`padding_mask` and :func:`causal_mask` build them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..backend.kernels import elementwise as ew
+from ..backend.kernels import gemm, softmax, transform
+from ..config import LSConfig
+from . import initializers as init
+from .base import Layer
+
+#: additive mask value for disallowed positions (safe under FP32 compute).
+NEG_INF = np.float32(-1e9)
+
+
+def padding_mask(tokens: np.ndarray, padding_idx: int) -> np.ndarray:
+    """(B, L) token ids -> (B, 1, 1, L) additive key-padding mask."""
+    return np.where(tokens == padding_idx, NEG_INF, np.float32(0.0)
+                    )[:, None, None, :].astype(np.float32)
+
+
+def causal_mask(seq_len: int) -> np.ndarray:
+    """(1, 1, L, L) additive future mask (decoder self-attention)."""
+    m = np.triu(np.full((seq_len, seq_len), NEG_INF, dtype=np.float32), k=1)
+    return m[None, None, :, :]
+
+
+def combine_masks(*masks: Optional[np.ndarray]) -> Optional[np.ndarray]:
+    """Sum additive masks, ignoring Nones."""
+    present = [m for m in masks if m is not None]
+    if not present:
+        return None
+    out = present[0]
+    for m in present[1:]:
+        out = out + m
+    return out
+
+
+class MultiHeadAttention(Layer):
+    """Self- or cross-attention with manual backward."""
+
+    def __init__(self, config: LSConfig, name: str = "attn", *,
+                 is_cross: bool = False, seed: Optional[int] = None):
+        super().__init__(config, name=name, seed=seed)
+        h = config.hidden_dim
+        self.is_cross = is_cross
+        self.scale = float(config.head_dim) ** -0.5
+        if is_cross:
+            self.w_q = self.add_param("w_q", init.xavier_uniform(self.rng, (h, h)))
+            self.b_q = self.add_param("b_q", init.zeros(h))
+            self.w_k = self.add_param("w_k", init.xavier_uniform(self.rng, (h, h)))
+            self.b_k = self.add_param("b_k", init.zeros(h))
+            self.w_v = self.add_param("w_v", init.xavier_uniform(self.rng, (h, h)))
+            self.b_v = self.add_param("b_v", init.zeros(h))
+        else:
+            self.w_qkv = self.add_param(
+                "w_qkv", init.xavier_uniform(self.rng, (3 * h, h)))
+            self.b_qkv = self.add_param("b_qkv", init.zeros(3 * h))
+        self.w_o = self.add_param("w_o", init.xavier_uniform(self.rng, (h, h)))
+
+    # -- forward ---------------------------------------------------------------
+
+    def forward(self, x: np.ndarray, kv: Optional[np.ndarray] = None,
+                mask: Optional[np.ndarray] = None) -> np.ndarray:
+        """Attention output *before* the out-proj bias.
+
+        ``x``: query input (B, Lq, H).  ``kv``: key/value input for
+        cross-attention (B, Lk, H); must be None for self-attention.
+        ``mask``: additive mask broadcastable to (B, N, Lq, Lk).
+        """
+        if self.is_cross and kv is None:
+            raise ValueError(f"{self.name}: cross-attention requires kv input")
+        if not self.is_cross and kv is not None:
+            raise ValueError(f"{self.name}: self-attention takes no kv input")
+        fused = self.config.fused
+        fp16 = self.config.fp16
+        nhead = self.config.nhead
+        p_attn = self.attn_dropout_p
+
+        if self.is_cross:
+            q, k, v = self._project_cross(x, kv, fused, fp16, nhead)
+        else:
+            q, k, v = self._project_self(x, fused, fp16, nhead)
+
+        # scores, softmax and attention dropout
+        kt = np.swapaxes(k, -1, -2)
+        scores = gemm.batched_matmul(q, kt, fp16=fp16, name="gemm_qk")
+        if fused:
+            # ONE kernel: scale + mask + softmax + dropout (probs never
+            # round-trip through memory undropped)
+            probs_d, probs, dmask = \
+                softmax.attn_softmax_dropout_forward_fused(
+                    scores, self.scale, mask, p_attn, self.rng, fp16=fp16)
+            if p_attn == 0:
+                dmask = None
+        else:
+            probs = softmax.attn_softmax_forward_naive(
+                scores, self.scale, mask, fp16=fp16)
+            if p_attn > 0:
+                probs_d, dmask = ew.dropout_forward_naive(
+                    probs, p_attn, self.rng, fp16=fp16)
+            else:
+                probs_d, dmask = probs, None
+
+        ctx = gemm.batched_matmul(probs_d, v, fp16=fp16, name="gemm_pv")
+        merged = transform.merge_heads_naive(ctx, fp16=fp16)
+        out = gemm.linear_forward(merged, self.w_o.compute(), fp16=fp16,
+                                  name="gemm_out_proj")
+        self.save(x=x, kv=kv if self.is_cross else x, q=q, k=k, v=v,
+                  probs=probs, probs_d=probs_d, merged=merged)
+        if dmask is not None:
+            self.save(dmask=dmask)
+        self._had_dropout = dmask is not None
+        return out
+
+    def _project_self(self, x, fused, fp16, nhead):
+        h = self.config.hidden_dim
+        if fused:
+            qkv = gemm.linear_forward(x, self.w_qkv.compute(), fp16=fp16,
+                                      name="gemm_qkv_packed")
+            q, k, v = transform.qkv_bias_split_heads_fused(
+                qkv, self.b_qkv.compute(), nhead, fp16=fp16)
+        else:
+            w = self.w_qkv.compute()
+            b = self.b_qkv.compute()
+            parts = []
+            for i, tag in enumerate(("q", "k", "v")):
+                y = gemm.linear_forward(x, w[i * h:(i + 1) * h], fp16=fp16,
+                                        name=f"gemm_{tag}_proj")
+                y = ew.bias_add_naive(y, b[i * h:(i + 1) * h], fp16=fp16)
+                parts.append(transform.split_heads_naive(y, nhead, fp16=fp16))
+            q, k, v = parts
+        return q, k, v
+
+    def _project_cross(self, x, kv, fused, fp16, nhead):
+        pairs = ((self.w_q, self.b_q, x, "q"), (self.w_k, self.b_k, kv, "k"),
+                 (self.w_v, self.b_v, kv, "v"))
+        outs = []
+        for w, b, inp, tag in pairs:
+            y = gemm.linear_forward(inp, w.compute(), fp16=fp16,
+                                    name=f"gemm_{tag}_proj")
+            if fused:
+                outs.append(transform.bias_split_heads_fused(
+                    y, b.compute(), nhead, fp16=fp16))
+            else:
+                y = ew.bias_add_naive(y, b.compute(), fp16=fp16)
+                outs.append(transform.split_heads_naive(y, nhead, fp16=fp16))
+        return tuple(outs)
+
+    # -- backward ----------------------------------------------------------------
+
+    def backward(self, d_out: np.ndarray
+                 ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        """Backward through the whole attention block.
+
+        Returns ``(d_x, d_kv)``; ``d_kv`` is None for self-attention (the
+        kv gradient is already folded into ``d_x``).
+        """
+        fused = self.config.fused
+        fp16 = self.config.fp16
+        p_attn = self.attn_dropout_p
+        x = self.saved("x")
+        q, k, v = self.saved("q"), self.saved("k"), self.saved("v")
+        probs, probs_d = self.saved("probs"), self.saved("probs_d")
+        merged = self.saved("merged")
+
+        # out projection
+        d_merged, dw_o = gemm.linear_backward(
+            merged, self.w_o.compute(), d_out, fp16=fp16, name="gemm_out_proj")
+        self.w_o.accumulate_grad(dw_o)
+        nhead = self.config.nhead
+        d_ctx = transform.split_heads_naive(d_merged, nhead, fp16=fp16)
+
+        # probs @ v
+        d_probs_d = gemm.batched_matmul(
+            d_ctx, np.swapaxes(v, -1, -2), fp16=fp16, name="gemm_pv_dprobs")
+        d_v = gemm.batched_matmul(
+            np.swapaxes(probs_d, -1, -2), d_ctx, fp16=fp16, name="gemm_pv_dv")
+
+        # attention dropout + softmax (+scale) backward
+        if fused:
+            dmask = (self.saved("dmask") if self._had_dropout
+                     else np.ones(probs.shape, dtype=np.uint8))
+            d_scores = softmax.attn_softmax_dropout_backward_fused(
+                d_probs_d, probs, dmask, self.scale,
+                p_attn if self._had_dropout else 0.0, fp16=fp16)
+        else:
+            if self._had_dropout and p_attn > 0:
+                d_probs = ew.dropout_backward_naive(
+                    d_probs_d, self.saved("dmask"), p_attn, fp16=fp16)
+            else:
+                d_probs = d_probs_d
+            d_scores = softmax.attn_softmax_backward_naive(
+                d_probs, probs, self.scale, fp16=fp16)
+
+        # q @ k^T
+        d_q = gemm.batched_matmul(d_scores, k, fp16=fp16, name="gemm_qk_dq")
+        d_k = gemm.batched_matmul(
+            np.swapaxes(d_scores, -1, -2), q, fp16=fp16, name="gemm_qk_dk")
+
+        if self.is_cross:
+            return self._backward_cross(x, d_q, d_k, d_v, fused, fp16, nhead)
+        return self._backward_self(x, d_q, d_k, d_v, fused, fp16, nhead), None
+
+    def _backward_self(self, x, d_q, d_k, d_v, fused, fp16, nhead):
+        h = self.config.hidden_dim
+        if fused:
+            d_qkv, d_bias = transform.qkv_merge_heads_fused(
+                d_q, d_k, d_v, fp16=fp16)
+            self.b_qkv.accumulate_grad(d_bias)
+            d_x, dw = gemm.linear_backward(
+                x, self.w_qkv.compute(), d_qkv, fp16=fp16,
+                name="gemm_qkv_packed")
+            self.w_qkv.accumulate_grad(dw)
+            return d_x
+        w = self.w_qkv.compute()
+        d_x = None
+        dw_full = np.zeros_like(w)
+        db_full = np.zeros(3 * h, dtype=np.float32)
+        for i, (dhead, tag) in enumerate(
+                zip((d_q, d_k, d_v), ("q", "k", "v"))):
+            dflat = transform.merge_heads_naive(dhead, fp16=fp16)
+            db_full[i * h:(i + 1) * h] = ew.bias_grad_naive(dflat, fp16=fp16)
+            dxi, dwi = gemm.linear_backward(
+                x, w[i * h:(i + 1) * h], dflat, fp16=fp16,
+                name=f"gemm_{tag}_proj")
+            dw_full[i * h:(i + 1) * h] = dwi
+            if d_x is None:
+                d_x = dxi
+            else:
+                d_x = ew.residual_add_naive(d_x, dxi, fp16=fp16)
+        self.w_qkv.accumulate_grad(dw_full)
+        self.b_qkv.accumulate_grad(db_full)
+        return d_x
+
+    def _backward_cross(self, x, d_q, d_k, d_v, fused, fp16, nhead):
+        kv = self.saved("kv")
+        d_x = None
+        d_kv = None
+        for (w, b, inp, dhead, is_query) in (
+                (self.w_q, self.b_q, x, d_q, True),
+                (self.w_k, self.b_k, kv, d_k, False),
+                (self.w_v, self.b_v, kv, d_v, False)):
+            dflat = transform.merge_heads_naive(dhead, fp16=fp16)
+            if fused:
+                # bias grad folded into the merge kernel on the GPU; here
+                # the reduction is explicit but recorded with the merge
+                db = dflat.reshape(-1, dflat.shape[-1]).sum(axis=0)
+            else:
+                db = ew.bias_grad_naive(dflat, fp16=fp16)
+            b.accumulate_grad(db)
+            dinp, dw = gemm.linear_backward(inp, w.compute(), dflat,
+                                            fp16=fp16, name="gemm_cross_proj")
+            w.accumulate_grad(dw)
+            if is_query:
+                d_x = dinp
+            elif d_kv is None:
+                d_kv = dinp
+            else:
+                d_kv = ew.residual_add_naive(d_kv, dinp, fp16=fp16)
+        return d_x, d_kv

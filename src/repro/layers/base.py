@@ -1,0 +1,194 @@
+"""Layer/parameter primitives shared by all LightSeq2 layers.
+
+Layers here are *manual-backward* modules, like the CUDA layers they
+reproduce: ``forward`` saves exactly the activations its hand-written
+``backward`` needs (the memory-manager experiments depend on that inventory
+being explicit), and ``backward`` accumulates parameter gradients in place.
+
+A :class:`Parameter` owns storage-precision ``data``/``grad`` arrays until a
+trainer re-links them into a workspace (symbolic tensor link), after which
+they are views — layer code never notices the difference.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+from ..backend.dtypes import storage_dtype, to_compute
+from ..config import LSConfig
+
+
+class Parameter:
+    """A trainable tensor with storage-precision data and gradient."""
+
+    def __init__(self, name: str, value: np.ndarray, fp16: bool = False):
+        dt = storage_dtype(fp16)
+        self.name = name
+        self.fp16 = fp16
+        self.data = value.astype(dt)
+        self.grad = np.zeros_like(self.data)
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return tuple(self.data.shape)
+
+    @property
+    def size(self) -> int:
+        return int(self.data.size)
+
+    def compute(self) -> np.ndarray:
+        """FP32 view of the data for arithmetic (on-the-fly widen)."""
+        return to_compute(self.data)
+
+    def accumulate_grad(self, g: np.ndarray) -> None:
+        """Accumulate a gradient contribution (stored at storage dtype).
+
+        FP16 accumulation may overflow to inf when the loss scale is too
+        high — that is the signal the loss scaler *checks for*, so the
+        numpy overflow warning is suppressed rather than treated as an
+        error (matching CUDA semantics, where the overflow is silent).
+        """
+        if g.shape != self.data.shape:
+            raise ValueError(
+                f"{self.name}: grad shape {g.shape} != param {self.data.shape}")
+        with np.errstate(over="ignore", invalid="ignore"):
+            self.grad += g.astype(self.grad.dtype)
+
+    def zero_grad(self) -> None:
+        self.grad[...] = 0
+
+    def link(self, data_view: np.ndarray, grad_view: np.ndarray) -> None:
+        """Re-link to workspace views (symbolic tensor link, Fig. 7).
+
+        Existing values are assumed already copied into the views by
+        :func:`repro.backend.workspace.build_workspace`.
+        """
+        if data_view.shape != self.data.shape:
+            raise ValueError(
+                f"{self.name}: workspace view shape {data_view.shape} "
+                f"!= param {self.data.shape}")
+        self.data = data_view
+        self.grad = grad_view
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Parameter({self.name}, shape={self.shape}, fp16={self.fp16})"
+
+
+class Layer:
+    """Base class: parameter registry + saved-activation bookkeeping."""
+
+    def __init__(self, config: LSConfig, name: str = "",
+                 seed: Optional[int] = None):
+        self.config = config
+        self.name = name or type(self).__name__
+        base_seed = seed if seed is not None else 1234
+        # derive a stable per-layer stream so fused/naive twins built with
+        # the same seed draw identical dropout masks and init values.
+        # zlib.crc32 is process-stable, unlike hash(), whose per-process
+        # salting would make "same seed" models differ across runs.
+        name_tag = zlib.crc32(self.name.encode("utf-8"))
+        self.rng = np.random.default_rng(
+            (base_seed * 0x9E3779B97F4A7C15 + name_tag) % (2 ** 63))
+        self._params: Dict[str, Parameter] = {}
+        self._sublayers: Dict[str, "Layer"] = {}
+        self._saved: Dict[str, np.ndarray] = {}
+        self.training = True
+
+    # -- parameter / sublayer registry ---------------------------------------
+
+    def add_param(self, name: str, value: np.ndarray) -> Parameter:
+        if name in self._params:
+            raise ValueError(f"duplicate parameter {name!r} in {self.name}")
+        p = Parameter(f"{self.name}.{name}", value, fp16=self.config.fp16)
+        self._params[name] = p
+        return p
+
+    def add_sublayer(self, name: str, layer: "Layer") -> "Layer":
+        if name in self._sublayers:
+            raise ValueError(f"duplicate sublayer {name!r} in {self.name}")
+        self._sublayers[name] = layer
+        return layer
+
+    def parameters(self) -> Iterator[Parameter]:
+        """All parameters, depth-first, in deterministic order."""
+        for p in self._params.values():
+            yield p
+        for sub in self._sublayers.values():
+            yield from sub.parameters()
+
+    def named_parameters(self) -> Iterator[Tuple[str, Parameter]]:
+        for p in self.parameters():
+            yield p.name, p
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    # -- train/eval mode -------------------------------------------------------
+
+    def train(self, mode: bool = True) -> "Layer":
+        self.training = mode
+        for sub in self._sublayers.values():
+            sub.train(mode)
+        return self
+
+    def eval(self) -> "Layer":
+        return self.train(False)
+
+    # -- saved-activation bookkeeping ------------------------------------------
+
+    def save(self, **tensors: np.ndarray) -> None:
+        self._saved.update(tensors)
+
+    def saved(self, key: str) -> np.ndarray:
+        try:
+            return self._saved[key]
+        except KeyError:
+            raise RuntimeError(
+                f"{self.name}: backward before forward (missing saved "
+                f"activation {key!r})") from None
+
+    def saved_nbytes(self) -> int:
+        """Bytes of activations this layer is holding for backward."""
+        own = sum(t.nbytes for t in self._saved.values())
+        return own + sum(s.saved_nbytes() for s in self._sublayers.values())
+
+    def clear_saved(self) -> None:
+        self._saved.clear()
+        for sub in self._sublayers.values():
+            sub.clear_saved()
+
+    # -- RNG-state capture (activation checkpointing) ---------------------------
+
+    def rng_states(self) -> Dict[str, dict]:
+        """Snapshot this layer's and every sublayer's RNG state.
+
+        Activation checkpointing re-runs ``forward`` during ``backward``;
+        restoring these states first makes the recomputation draw the
+        *identical* dropout masks, so recompute == original bit-for-bit.
+        """
+        states = {self.name: dict(self.rng.bit_generator.state)}
+        for sub in self._sublayers.values():
+            states.update(sub.rng_states())
+        return states
+
+    def set_rng_states(self, states: Dict[str, dict]) -> None:
+        """Restore a snapshot taken by :meth:`rng_states`."""
+        self.rng.bit_generator.state = states[self.name]
+        for sub in self._sublayers.values():
+            sub.set_rng_states(states)
+
+    @property
+    def dropout_p(self) -> float:
+        """Effective dropout prob (0 in eval mode)."""
+        return self.config.dropout if self.training else 0.0
+
+    @property
+    def attn_dropout_p(self) -> float:
+        return self.config.attn_dropout if self.training else 0.0

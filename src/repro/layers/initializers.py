@@ -1,0 +1,45 @@
+"""Weight initialisers matching the fairseq/LightSeq2 defaults.
+
+LightSeq2's pitch is "no change to ... initialization", so the fused layers
+must initialise exactly like the fairseq modules they replace: Xavier
+uniform for projection weights, zeros for biases, N(0, d^-1/2) for token
+embeddings (with the padding row zeroed), ones/zeros for LayerNorm.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def xavier_uniform(rng: np.random.Generator, shape: Tuple[int, int],
+                   gain: float = 1.0) -> np.ndarray:
+    """Glorot uniform for a (fan_out, fan_in) weight matrix."""
+    fan_out, fan_in = shape
+    a = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-a, a, size=shape).astype(np.float32)
+
+
+def zeros(shape) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float32)
+
+
+def ones(shape) -> np.ndarray:
+    return np.ones(shape, dtype=np.float32)
+
+
+def normal(rng: np.random.Generator, shape, std: float) -> np.ndarray:
+    return (rng.standard_normal(shape) * std).astype(np.float32)
+
+
+def embedding_table(rng: np.random.Generator, vocab_size: int, dim: int,
+                    padding_idx: Optional[int] = None) -> np.ndarray:
+    """fairseq embedding init: N(0, dim^-1/2), padding row zeroed."""
+    table = normal(rng, (vocab_size, dim), std=dim ** -0.5)
+    if padding_idx is not None:
+        if not 0 <= padding_idx < vocab_size:
+            raise ValueError(
+                f"padding_idx {padding_idx} outside vocab of {vocab_size}")
+        table[padding_idx] = 0.0
+    return table

@@ -1,0 +1,12 @@
+"""The Transformer family the paper supports (Table 1): full
+encoder–decoder (MT), BERT (encoder-only), GPT (decoder-only), ViT (CV)."""
+
+from .bert import BertModel
+from .gpt import GPTModel
+from .transformer import TransformerModel, activation_bytes, parameter_bytes
+from .vit import ViTModel, extract_patches
+
+__all__ = [
+    "TransformerModel", "BertModel", "GPTModel", "ViTModel",
+    "activation_bytes", "parameter_bytes", "extract_patches",
+]

@@ -1,0 +1,91 @@
+"""Loss scaling for mixed-precision training (Micikevicius et al., the
+paper's [17]).
+
+FP16 gradients underflow for small values; multiplying the loss by a scale
+``S`` before backward shifts gradients into representable range, and the
+trainer divides by ``S`` before the update.  Two policies:
+
+* :class:`StaticLossScaler` — fixed scale.
+* :class:`DynamicLossScaler` — fairseq/Apex behaviour: halve the scale and
+  skip the step when a non-finite gradient is seen; double it again after a
+  window of clean steps.
+
+LightSeq2 folds the ``1/S`` (and the 1/num_tokens gradient normalisation)
+into its fused kernels, so no separate unscale pass is launched; the naive
+trainer launches an explicit unscale kernel per tensor.  Both use this
+module for the policy decisions so training behaviour is identical.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ..backend.dtypes import has_overflow
+
+
+class StaticLossScaler:
+    """Fixed loss scale."""
+
+    def __init__(self, scale: float = 128.0):
+        if scale <= 0:
+            raise ValueError(f"loss scale must be positive, got {scale}")
+        self._scale = float(scale)
+        self.overflows = 0
+
+    @property
+    def scale(self) -> float:
+        return self._scale
+
+    def check_overflow(self, grads: Iterable[np.ndarray]) -> bool:
+        """True (and count it) if any gradient is non-finite."""
+        bad = any(has_overflow(g) for g in grads)
+        if bad:
+            self.overflows += 1
+        return bad
+
+    def update(self, overflow: bool) -> None:
+        """Static policy: nothing changes."""
+
+
+class DynamicLossScaler:
+    """Grow-and-backoff scaler (fairseq defaults)."""
+
+    def __init__(self, init_scale: float = 2.0 ** 15,
+                 scale_factor: float = 2.0, scale_window: int = 2000,
+                 min_scale: float = 1.0, max_scale: float = 2.0 ** 24):
+        if init_scale <= 0:
+            raise ValueError("init_scale must be positive")
+        if scale_factor <= 1:
+            raise ValueError("scale_factor must exceed 1")
+        self._scale = float(init_scale)
+        self.scale_factor = scale_factor
+        self.scale_window = scale_window
+        self.min_scale = min_scale
+        self.max_scale = max_scale
+        self._good_steps = 0
+        self.overflows = 0
+
+    @property
+    def scale(self) -> float:
+        return self._scale
+
+    def check_overflow(self, grads: Iterable[np.ndarray]) -> bool:
+        bad = any(has_overflow(g) for g in grads)
+        if bad:
+            self.overflows += 1
+        return bad
+
+    def update(self, overflow: bool) -> None:
+        """Advance the policy after a step attempt."""
+        if overflow:
+            self._scale = max(self.min_scale,
+                              self._scale / self.scale_factor)
+            self._good_steps = 0
+        else:
+            self._good_steps += 1
+            if self._good_steps >= self.scale_window:
+                self._scale = min(self.max_scale,
+                                  self._scale * self.scale_factor)
+                self._good_steps = 0

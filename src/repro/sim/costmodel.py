@@ -1,0 +1,146 @@
+"""Roofline cost model: replay a kernel trace into simulated GPU time.
+
+Per kernel::
+
+    t = t_launch + t_host(lib) + max(bytes / (BW_peak * eff), flops / F_eff)
+
+* GEMMs (``is_gemm``) use cuBLAS FLOP throughput — tensor-core rate when the
+  storage precision is FP16 — with a size-dependent utilisation curve.
+* Non-GEMM kernels are bandwidth-bound; their efficiency comes from the
+  per-(library, kernel-family) curves in :mod:`repro.sim.gpu_specs`.
+
+The model is deliberately simple — launch overhead + roofline — because the
+paper's phenomena (speedup decaying with batch size, deeper stacks gaining
+more, FP16 > FP32, A100 > V100) are all first-order consequences of exactly
+these two terms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable
+
+from ..backend.device import STAGES, KernelLaunch
+from .gpu_specs import (GPUSpec, HOST_OVERHEAD_US, efficiency,
+                        gemm_efficiency)
+
+#: substrings that map a kernel name onto a cost-model family, checked in
+#: order (first match wins).
+_FAMILY_PATTERNS = (
+    ("layernorm", "layernorm"),
+    ("softmax", "softmax"),
+    ("dropout", "dropout"),
+    ("embed", "embedding"),
+    ("criterion", "criterion"),
+    ("nll", "criterion"),
+    ("smooth", "criterion"),
+    ("loss", "criterion"),
+    ("log_kernel", "criterion"),
+    ("adam", "optimizer"),
+    ("sgd", "optimizer"),
+    ("zero_grad", "optimizer"),
+    ("workspace", "memcpy"),
+    ("copy", "memcpy"),
+    ("padding", "memcpy"),
+    ("transpose", "transpose"),
+    ("split_heads", "transpose"),
+    ("merge_heads", "transpose"),
+    ("grad", "reduction"),
+    ("reduce", "reduction"),
+)
+
+
+def kernel_family(name: str) -> str:
+    """Classify a kernel name into a cost-model family."""
+    n = name.lower()
+    for pat, fam in _FAMILY_PATTERNS:
+        if pat in n:
+            return fam
+    return "elementwise"
+
+
+def kernel_time(k: KernelLaunch, spec: GPUSpec, *,
+                include_host: bool = True) -> float:
+    """Simulated execution time (seconds) of one kernel launch.
+
+    ``include_host=False`` models CUDA-event timing (kernel microbenchmarks
+    like the paper's Figs. 13-14 tools §4.3): launch latency without the
+    framework's per-op dispatch tax, which only end-to-end module timing
+    pays.
+    """
+    fixed = (spec.kernel_launch_us
+             + (HOST_OVERHEAD_US[k.lib] if include_host else 0.0)) * 1e-6
+    fp16 = k.dtype_bytes == 2
+    if k.is_gemm:
+        eff = gemm_efficiency(k.flops, fp16)
+        t_flop = k.flops / (spec.flops_per_s(fp16) * eff)
+        t_mem = k.bytes_moved / spec.mem_bandwidth
+        return fixed + max(t_flop, t_mem)
+    fam = kernel_family(k.name)
+    elems = k.elems_read + k.elems_written
+    eff = efficiency(k.lib, fam, elems)
+    t_mem = k.bytes_moved / (spec.mem_bandwidth * eff)
+    # non-GEMM arithmetic rarely binds, but keep the term for hot math
+    t_flop = k.flops / (spec.flops_per_s(False) * 0.5)
+    return fixed + max(t_mem, t_flop)
+
+
+@dataclass
+class TraceCost:
+    """Aggregated simulated cost of a kernel trace."""
+
+    total_s: float = 0.0
+    by_stage: Dict[str, float] = field(
+        default_factory=lambda: {s: 0.0 for s in STAGES})
+    by_family: Dict[str, float] = field(default_factory=dict)
+    gemm_s: float = 0.0
+    non_gemm_s: float = 0.0
+    launches: int = 0
+
+    def add(self, k: KernelLaunch, t: float) -> None:
+        self.total_s += t
+        self.by_stage[k.stage] = self.by_stage.get(k.stage, 0.0) + t
+        fam = "gemm" if k.is_gemm else kernel_family(k.name)
+        self.by_family[fam] = self.by_family.get(fam, 0.0) + t
+        if k.is_gemm:
+            self.gemm_s += t
+        else:
+            self.non_gemm_s += t
+        self.launches += 1
+
+
+def trace_cost(trace: Iterable[KernelLaunch], spec: GPUSpec, *,
+               include_host: bool = True) -> TraceCost:
+    """Replay a whole trace through the roofline model."""
+    cost = TraceCost()
+    for k in trace:
+        cost.add(k, kernel_time(k, spec, include_host=include_host))
+    return cost
+
+
+def stage_seconds(trace: Iterable[KernelLaunch], spec: GPUSpec
+                  ) -> Dict[str, float]:
+    """Per-training-stage simulated seconds (Fig. 4 input)."""
+    return trace_cost(trace, spec).by_stage
+
+
+def tokens_per_second(trace: Iterable[KernelLaunch], spec: GPUSpec,
+                      tokens: int, extra_s: float = 0.0) -> float:
+    """Throughput for a trace covering one optimisation step.
+
+    ``extra_s`` adds non-kernel time (gradient sync, allocator stalls).
+    """
+    t = trace_cost(trace, spec).total_s + extra_s
+    if t <= 0:
+        raise ValueError("trace has zero simulated time")
+    return tokens / t
+
+
+def speedup(baseline: Iterable[KernelLaunch],
+            optimized: Iterable[KernelLaunch], spec: GPUSpec,
+            baseline_extra_s: float = 0.0,
+            optimized_extra_s: float = 0.0) -> float:
+    """baseline_time / optimized_time under the same GPU spec."""
+    tb = trace_cost(baseline, spec).total_s + baseline_extra_s
+    to = trace_cost(optimized, spec).total_s + optimized_extra_s
+    return tb / to

@@ -1,0 +1,73 @@
+"""Training-step timeline: the four stages of Fig. 3/4.
+
+Combines the roofline cost of the forward/backward/update kernel stages
+with the communication model for the sync stage, producing the stacked
+per-stage breakdown of Fig. 4 for any (library, GPU, world-size) setting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable
+
+from ..backend.device import STAGES, KernelLaunch
+from .comm import bucketed_allreduce_seconds
+from .costmodel import stage_seconds
+from .gpu_specs import STEP_SETUP_S, GPUSpec
+
+
+@dataclass(frozen=True)
+class StepTimeline:
+    """Simulated seconds per training stage for one optimisation step."""
+
+    forward_s: float
+    backward_s: float
+    sync_s: float
+    update_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.forward_s + self.backward_s + self.sync_s + self.update_s
+
+    def as_dict(self) -> Dict[str, float]:
+        return {"forward": self.forward_s, "backward": self.backward_s,
+                "sync": self.sync_s, "update": self.update_s}
+
+    def scaled(self, factor: float) -> "StepTimeline":
+        return StepTimeline(self.forward_s * factor, self.backward_s * factor,
+                            self.sync_s * factor, self.update_s * factor)
+
+
+def step_timeline(trace: Iterable[KernelLaunch], spec: GPUSpec, *,
+                  grad_bytes: int = 0, world_size: int = 1,
+                  step_setup_s: float = STEP_SETUP_S) -> StepTimeline:
+    """Build the Fig.-4 timeline from one step's kernel trace.
+
+    Kernels recorded under the "sync" stage (if any) are added to the
+    alpha–beta all-reduce estimate for ``grad_bytes``.  ``step_setup_s``
+    is the per-step host constant (data loading/collation, identical for
+    every library) folded into the forward stage; it is what deeper models
+    and larger batches amortise.
+    """
+    by = stage_seconds(trace, spec)
+    sync = by.get("sync", 0.0)
+    if world_size > 1 and grad_bytes > 0:
+        sync += bucketed_allreduce_seconds(grad_bytes, world_size, spec)
+    return StepTimeline(
+        forward_s=by.get("forward", 0.0) + step_setup_s,
+        backward_s=by.get("backward", 0.0),
+        sync_s=sync,
+        update_s=by.get("update", 0.0),
+    )
+
+
+def format_timeline_table(rows: Dict[str, StepTimeline]) -> str:
+    """Render {label: timeline} as the Fig.-4 comparison table (ms)."""
+    out = [f"{'system':<14}" + "".join(f"{s:>12}" for s in STAGES)
+           + f"{'total':>12}"]
+    for label, tl in rows.items():
+        d = tl.as_dict()
+        out.append(f"{label:<14}"
+                   + "".join(f"{d[s] * 1e3:>12.2f}" for s in STAGES)
+                   + f"{tl.total_s * 1e3:>12.2f}")
+    return "\n".join(out)

@@ -1,0 +1,5 @@
+"""Developer tooling: the §4.3 kernel correctness/speed harness."""
+
+from .kernel_tester import KernelReport, check_kernel, sweep_kernel
+
+__all__ = ["KernelReport", "check_kernel", "sweep_kernel"]

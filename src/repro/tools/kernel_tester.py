@@ -1,0 +1,171 @@
+"""Kernel development tools (§4.3).
+
+"We provide convenient secondary development tools to evaluate the running
+time and correctness of custom CUDA kernels and layers."  This module is
+that harness for the numpy substrate: given a candidate kernel and a
+reference implementation, it
+
+* checks numerical agreement on caller-supplied input generators,
+* measures wall-clock time over repeated runs,
+* replays the recorded launch trace through the GPU cost model so the
+  simulated V100/A100 time and launch/byte counts are reported side by
+  side.
+
+Example::
+
+    from repro.backend.kernels import layernorm as lnk
+    report = check_kernel(
+        "layernorm_fwd",
+        candidate=lambda x, w, b: lnk.layernorm_forward_fused(x, w, b)[0],
+        reference=lambda x, w, b: lnk.layernorm_forward_naive(x, w, b)[0],
+        make_args=lambda rng: (rng.standard_normal((512, 1024),
+                               ).astype(np.float32),
+                               np.ones(1024, np.float32),
+                               np.zeros(1024, np.float32)))
+    assert report.passed
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..backend.device import Device, use_device
+from ..sim.costmodel import trace_cost
+from ..sim.gpu_specs import GPUS
+
+
+@dataclass
+class KernelReport:
+    """Outcome of one candidate-vs-reference kernel check."""
+
+    name: str
+    max_abs_err: float
+    max_rel_err: float
+    passed: bool
+    wall_us_candidate: float
+    wall_us_reference: float
+    sim_us: Dict[str, Tuple[float, float]] = field(default_factory=dict)
+    launches_candidate: int = 0
+    launches_reference: int = 0
+
+    @property
+    def wall_speedup(self) -> float:
+        if self.wall_us_candidate <= 0:
+            return float("nan")
+        return self.wall_us_reference / self.wall_us_candidate
+
+    def sim_speedup(self, gpu: str = "V100") -> float:
+        ref, cand = self.sim_us[gpu][1], self.sim_us[gpu][0]
+        return ref / cand if cand > 0 else float("nan")
+
+    def format(self) -> str:
+        lines = [
+            f"kernel check: {self.name} — "
+            f"{'PASS' if self.passed else 'FAIL'}",
+            f"  max abs err {self.max_abs_err:.3e}, "
+            f"max rel err {self.max_rel_err:.3e}",
+            f"  wall: candidate {self.wall_us_candidate:.1f} us vs "
+            f"reference {self.wall_us_reference:.1f} us "
+            f"({self.wall_speedup:.2f}x)",
+            f"  launches: {self.launches_candidate} vs "
+            f"{self.launches_reference}",
+        ]
+        for gpu, (cand, ref) in self.sim_us.items():
+            ratio = f"{ref / cand:.2f}x" if cand > 0 else "n/a"
+            lines.append(f"  simulated {gpu}: {cand:.2f} us vs "
+                         f"{ref:.2f} us ({ratio})")
+        return "\n".join(lines)
+
+
+def _as_arrays(out) -> List[np.ndarray]:
+    if isinstance(out, np.ndarray):
+        return [out]
+    if isinstance(out, (tuple, list)):
+        return [o for o in out if isinstance(o, np.ndarray)]
+    raise TypeError(f"kernel returned unsupported type {type(out)}")
+
+
+def _timed(fn, args, reps: int) -> float:
+    """Median wall time in microseconds over ``reps`` runs (1 warmup)."""
+    fn(*args)
+    samples = []
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn(*args)
+        samples.append((time.perf_counter() - t0) * 1e6)
+    return float(np.median(samples))
+
+
+def check_kernel(name: str,
+                 candidate: Callable, reference: Callable,
+                 make_args: Callable[[np.random.Generator], Tuple], *,
+                 candidate_lib: str = "lightseq2",
+                 reference_lib: str = "pytorch",
+                 atol: float = 1e-4, rtol: float = 1e-3,
+                 cases: int = 3, reps: int = 5,
+                 gpus: Sequence[str] = ("V100",),
+                 seed: int = 0) -> KernelReport:
+    """Run the correctness + speed harness for one kernel pair.
+
+    ``make_args(rng)`` produces one positional-argument tuple; ``cases``
+    fresh tuples are checked for correctness; timing uses the last one.
+    Kernels may return an array or a tuple of arrays (extra non-array
+    returns are ignored).
+    """
+    rng = np.random.default_rng(seed)
+    max_abs = max_rel = 0.0
+    args = None
+    for _ in range(cases):
+        args = make_args(rng)
+        out_c = _as_arrays(candidate(*args))
+        out_r = _as_arrays(reference(*args))
+        if len(out_c) != len(out_r):
+            raise ValueError(
+                f"{name}: candidate returned {len(out_c)} arrays, "
+                f"reference {len(out_r)}")
+        for c, r in zip(out_c, out_r):
+            if c.shape != r.shape:
+                raise ValueError(
+                    f"{name}: shape mismatch {c.shape} vs {r.shape}")
+            diff = np.abs(c.astype(np.float64) - r.astype(np.float64))
+            max_abs = max(max_abs, float(diff.max(initial=0.0)))
+            denom = np.maximum(np.abs(r.astype(np.float64)), 1e-6)
+            max_rel = max(max_rel, float((diff / denom).max(initial=0.0)))
+    passed = max_abs <= atol or max_rel <= rtol
+
+    wall_c = _timed(candidate, args, reps)
+    wall_r = _timed(reference, args, reps)
+
+    dev_c = Device(lib=candidate_lib)
+    with use_device(dev_c):
+        candidate(*args)
+    dev_r = Device(lib=reference_lib)
+    with use_device(dev_r):
+        reference(*args)
+    sim: Dict[str, Tuple[float, float]] = {}
+    for gpu in gpus:
+        spec = GPUS[gpu]
+        sim[gpu] = (trace_cost(dev_c.launches, spec).total_s * 1e6,
+                    trace_cost(dev_r.launches, spec).total_s * 1e6)
+
+    return KernelReport(
+        name=name, max_abs_err=max_abs, max_rel_err=max_rel, passed=passed,
+        wall_us_candidate=wall_c, wall_us_reference=wall_r, sim_us=sim,
+        launches_candidate=len(dev_c.launches),
+        launches_reference=len(dev_r.launches))
+
+
+def sweep_kernel(name: str, candidate: Callable, reference: Callable,
+                 arg_factories: Dict[str, Callable[[np.random.Generator],
+                                                   Tuple]],
+                 **kw) -> Dict[str, KernelReport]:
+    """Run :func:`check_kernel` over a dict of named input shapes —
+    the "different combinations of block size, grid size and buffer size
+    for various sequence lengths" methodology of §3.1.1."""
+    return {label: check_kernel(f"{name}[{label}]", candidate, reference,
+                                factory, **kw)
+            for label, factory in arg_factories.items()}

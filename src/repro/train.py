@@ -1,0 +1,191 @@
+"""Training CLI: ``python -m repro.train``.
+
+A fairseq-style command-line entry point over the whole library: pick a
+task (mt / bert / gpt / vit), a model preset, a trainer, precision and
+batch budget; it builds the synthetic workload, trains, reports wall-clock
+and simulated-GPU throughput per log interval, and optionally checkpoints
+and resumes.
+
+Examples::
+
+    python -m repro.train --task mt --steps 40 --max-tokens 1024 --fp16
+    python -m repro.train --task gpt --trainer naive --steps 20
+    python -m repro.train --task mt --save-dir /tmp/ckpt --steps 10
+    python -m repro.train --task mt --save-dir /tmp/ckpt --resume --steps 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .backend.device import Device, use_device
+from .config import LSConfig, get_config
+from .data import (SyntheticLMCorpus, SyntheticTranslationCorpus,
+                   batch_by_tokens, synthetic_images,
+                   synthetic_sentence_pairs)
+from .layers.base import Layer
+from .models import BertModel, GPTModel, TransformerModel, ViTModel
+from .precision import DynamicLossScaler
+from .sim import GPUS, trace_cost
+from .training import (InverseSqrtSchedule, OptimizerSpec, make_trainer,
+                       train_step)
+from .training.serialization import load_checkpoint, save_checkpoint
+
+#: shrunken-but-faithful model dims so the CLI runs in seconds on a laptop;
+#: pass --full for the paper presets.
+QUICK_DIMS = dict(hidden_dim=128, nhead=8, ffn_dim=512, vocab_size=2048)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="python -m repro.train",
+        description="Train a Transformer-family model on a synthetic "
+                    "workload with the LightSeq2 reproduction stack.")
+    p.add_argument("--task", choices=("mt", "bert", "gpt", "vit"),
+                   default="mt")
+    p.add_argument("--model", default=None,
+                   help="config preset (default chosen per task)")
+    p.add_argument("--steps", type=int, default=20)
+    p.add_argument("--max-tokens", type=int, default=1024,
+                   help="token budget per batch (mt/gpt) or batch size "
+                        "(bert/vit)")
+    p.add_argument("--trainer", choices=("lightseq", "naive", "apex"),
+                   default="lightseq")
+    p.add_argument("--fp16", action="store_true")
+    p.add_argument("--no-fused", action="store_true",
+                   help="use the naive per-op kernel path")
+    p.add_argument("--lr", type=float, default=5e-4)
+    p.add_argument("--warmup", type=int, default=100)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--log-interval", type=int, default=10)
+    p.add_argument("--gpu", choices=sorted(GPUS), default="V100",
+                   help="GPU model for the simulated-throughput report")
+    p.add_argument("--full", action="store_true",
+                   help="use full paper-size presets (slow on CPU)")
+    p.add_argument("--save-dir", default=None,
+                   help="write a checkpoint here after training")
+    p.add_argument("--resume", action="store_true",
+                   help="load the checkpoint from --save-dir first")
+    return p
+
+
+def _config(args) -> LSConfig:
+    defaults = {"mt": "transformer-base", "bert": "bert-base",
+                "gpt": "gpt2-small", "vit": "vit-b-32"}
+    preset = args.model or defaults[args.task]
+    extra = {} if args.full else dict(QUICK_DIMS)
+    if not args.full:
+        if args.task in ("bert", "vit"):
+            extra["num_encoder_layers"] = 3
+            extra["nhead"] = 8
+        if args.task == "gpt":
+            extra["num_decoder_layers"] = 3
+        if args.task == "mt":
+            extra["num_encoder_layers"] = 2
+            extra["num_decoder_layers"] = 2
+        if args.task == "vit":
+            extra.update(image_size=64, patch_size=32)
+            extra.pop("vocab_size")
+    return get_config(preset, max_batch_tokens=max(args.max_tokens, 256),
+                      max_seq_len=256, fp16=args.fp16,
+                      fused=not args.no_fused, **extra)
+
+
+def _build_task(args, cfg: LSConfig
+                ) -> Tuple[Layer, Callable[[int], Sequence]]:
+    """Returns (model, batch_fn(step) -> forward args)."""
+    seed = args.seed
+    if args.task == "mt":
+        model = TransformerModel(cfg, seed=seed)
+        corpus = SyntheticTranslationCorpus(cfg.vocab_size, max_len=64,
+                                            seed=seed)
+        batches = [b.as_tuple() for b in batch_by_tokens(
+            corpus.sample(64 * max(1, args.max_tokens // 256)),
+            args.max_tokens)]
+        return model, lambda step: batches[step % len(batches)]
+    if args.task == "gpt":
+        model = GPTModel(cfg, seed=seed)
+        corpus = SyntheticLMCorpus(cfg.vocab_size, block_len=64, seed=seed)
+        bsz = max(1, args.max_tokens // 64)
+        return model, lambda step: corpus.sample_batch(bsz)
+    if args.task == "bert":
+        model = BertModel(cfg, seed=seed)
+        toks, labels = synthetic_sentence_pairs(
+            512, vocab_size=cfg.vocab_size, max_len=64,
+            pad_idx=cfg.padding_idx, seed=seed)
+        bsz = min(args.max_tokens, 64)
+
+        def batch_fn(step):
+            lo = (step * bsz) % (512 - bsz)
+            return toks[lo:lo + bsz], labels[lo:lo + bsz]
+
+        return model, batch_fn
+    if args.task == "vit":
+        model = ViTModel(cfg, seed=seed)
+        imgs, labels = synthetic_images(256, image_size=cfg.image_size,
+                                        num_classes=cfg.num_classes,
+                                        seed=seed)
+        bsz = min(args.max_tokens, 32)
+
+        def batch_fn(step):
+            lo = (step * bsz) % (256 - bsz)
+            return imgs[lo:lo + bsz], labels[lo:lo + bsz]
+
+        return model, batch_fn
+    raise ValueError(args.task)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    cfg = _config(args)
+    model, batch_fn = _build_task(args, cfg)
+    scaler = DynamicLossScaler() if args.fp16 else None
+    trainer = make_trainer(args.trainer, model, OptimizerSpec(lr=args.lr),
+                           scaler=scaler)
+    if args.resume:
+        if not args.save_dir:
+            print("--resume requires --save-dir")
+            return 2
+        load_checkpoint(model, trainer, args.save_dir)
+        print(f"resumed from {args.save_dir} at step {trainer.step_count}")
+    sched = InverseSqrtSchedule(peak_lr=args.lr, warmup_steps=args.warmup)
+    spec = GPUS[args.gpu]
+    lib = "pytorch" if args.no_fused else "lightseq2"
+    print(f"task={args.task} model={cfg.model} params="
+          f"{model.num_parameters():,} trainer={args.trainer} "
+          f"fp16={cfg.fp16} fused={cfg.fused}")
+
+    dev = Device(lib=lib)
+    window_loss = window_tokens = 0
+    window_t0 = time.perf_counter()
+    with use_device(dev):
+        for step in range(1, args.steps + 1):
+            res = train_step(model, trainer, batch_fn(step - 1),
+                             lr=sched.lr(trainer.step_count + 1))
+            window_loss += res.loss
+            window_tokens += res.num_tokens
+            if step % args.log_interval == 0 or step == args.steps:
+                wall = time.perf_counter() - window_t0
+                sim = trace_cost(dev.launches, spec).total_s
+                dev.reset()
+                print(f"step {step:>5} | loss/tok "
+                      f"{window_loss / max(window_tokens, 1):7.3f} | "
+                      f"{window_tokens / wall:9.0f} tok/s wall | "
+                      f"{window_tokens / max(sim, 1e-12):12.0f} tok/s "
+                      f"sim-{args.gpu}"
+                      + (f" | skipped {trainer.skipped_steps}"
+                         if trainer.skipped_steps else ""))
+                window_loss = window_tokens = 0
+                window_t0 = time.perf_counter()
+    if args.save_dir:
+        save_checkpoint(model, trainer, args.save_dir)
+        print(f"checkpoint written to {args.save_dir}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

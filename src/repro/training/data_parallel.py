@@ -1,0 +1,180 @@
+"""Data-parallel training (Fig. 3): replicas + real ring all-reduce.
+
+Simulates N-GPU data parallelism in-process: N model replicas built from
+the same seed (so initial states match, as DDP guarantees via broadcast),
+each computes forward/backward on its shard of the batch, gradients are
+averaged with the real chunked ring all-reduce from :mod:`repro.sim.comm`,
+and every replica's trainer applies the same update — after which all
+replicas hold identical parameters, which tests assert.
+
+The sync *time* for the Fig.-11 experiment comes from the alpha–beta model
+(``bucketed_allreduce_seconds``); the data movement here is for correctness.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..backend.device import current_device
+from ..layers.base import Layer
+from ..sim.comm import (bucketed_allreduce_seconds,
+                        compressed_allreduce_seconds,
+                        compressed_ring_allreduce, ring_allreduce)
+from ..sim.gpu_specs import GPUSpec
+from .optimizers import OptimizerSpec
+from .trainer import TrainerBase, make_trainer
+
+
+class DataParallel:
+    """N replicas of a model + trainer, synchronised per step."""
+
+    def __init__(self, model_factory: Callable[[], Layer], world_size: int,
+                 trainer_kind: str, spec: OptimizerSpec,
+                 scaler_factory: Optional[Callable[[], object]] = None,
+                 compress_gradients: bool = False):
+        """``compress_gradients``: sync with the int8 error-feedback ring
+        (DeepSpeed-style quantized gradient updates) instead of FP32."""
+        if world_size < 1:
+            raise ValueError("world_size must be >= 1")
+        self.world_size = world_size
+        self.compress_gradients = compress_gradients
+        self.replicas: List[Layer] = [model_factory()
+                                      for _ in range(world_size)]
+        self.trainers: List[TrainerBase] = [
+            make_trainer(trainer_kind, m, spec,
+                         scaler_factory() if scaler_factory else None)
+            for m in self.replicas]
+        self._error_feedback: Optional[List[np.ndarray]] = None
+        self._check_replicas_identical()
+
+    def _check_replicas_identical(self) -> None:
+        ref = list(self.replicas[0].parameters())
+        for r in self.replicas[1:]:
+            for p0, p in zip(ref, r.parameters()):
+                if not np.array_equal(p0.data, p.data):
+                    raise ValueError(
+                        f"replica init mismatch on {p.name}: the model "
+                        f"factory must produce identical initial states")
+
+    # -- gradient synchronisation ------------------------------------------------
+
+    def _flat_grads(self) -> List[np.ndarray]:
+        """One flat FP32 gradient buffer per replica (DDP's flat bucket)."""
+        outs = []
+        for r in self.replicas:
+            outs.append(np.concatenate(
+                [p.grad.astype(np.float32).reshape(-1)
+                 for p in r.parameters()]))
+        return outs
+
+    def _unflatten_into(self, flats: Sequence[np.ndarray]) -> None:
+        for r, flat in zip(self.replicas, flats):
+            off = 0
+            for p in r.parameters():
+                n = p.size
+                p.grad[...] = flat[off:off + n].reshape(p.shape).astype(
+                    p.grad.dtype)
+                off += n
+
+    def sync_gradients(self) -> int:
+        """Average gradients across replicas (real ring all-reduce).
+
+        Returns the number of bytes each replica contributed (for the
+        alpha–beta sync-time model).  Recorded under the "sync" stage.
+        """
+        dev = current_device()
+        with dev.stage_scope("sync"):
+            flats = self._flat_grads()
+            nbytes = flats[0].nbytes
+            if self.world_size > 1:
+                if self.compress_gradients:
+                    if self._error_feedback is None:
+                        self._error_feedback = [np.zeros_like(f)
+                                                for f in flats]
+                    compressed_ring_allreduce(
+                        flats, error_feedback=self._error_feedback)
+                else:
+                    ring_allreduce(flats, average=True)
+                self._unflatten_into(flats)
+            payload_bytes = 1 if self.compress_gradients else 4
+            for f in flats[:1]:
+                dev.record("allreduce_grads", f.size * self.world_size,
+                           f.size * self.world_size,
+                           dtype_bytes=payload_bytes)
+        return nbytes
+
+    def sync_seconds(self, spec: GPUSpec) -> float:
+        """Alpha–beta estimate of one step's gradient sync."""
+        grad_bytes = sum(p.grad.nbytes
+                         for p in self.replicas[0].parameters())
+        if self.compress_gradients:
+            # flat FP32 payload quartered by int8 quantisation
+            fp32_bytes = sum(4 * p.size
+                             for p in self.replicas[0].parameters())
+            return compressed_allreduce_seconds(fp32_bytes,
+                                                self.world_size, spec)
+        return bucketed_allreduce_seconds(grad_bytes, self.world_size, spec)
+
+    # -- training step -----------------------------------------------------------
+
+    def train_step(self, shards: Sequence[Tuple], *, lr: Optional[float] = None,
+                   grad_scale_fn: Optional[Callable[[int], float]] = None
+                   ) -> Tuple[float, int]:
+        """One data-parallel step.
+
+        ``shards``: one batch tuple per replica (positional args to the
+        model's ``forward``).  ``grad_scale_fn(total_tokens) -> float``
+        computes the update scaling from the *global* token count, as
+        fairseq does after summing token counts across workers.
+
+        Returns (summed loss across replicas, total tokens).
+        """
+        if len(shards) != self.world_size:
+            raise ValueError(
+                f"need {self.world_size} shards, got {len(shards)}")
+        dev = current_device()
+        total_loss = 0.0
+        total_tokens = 0
+        for trainer in self.trainers:
+            trainer.zero_grad()
+        for model, shard in zip(self.replicas, shards):
+            with dev.stage_scope("forward"):
+                loss, ntok = model.forward(*shard)
+            with dev.stage_scope("backward"):
+                model.backward()
+            total_loss += loss
+            total_tokens += ntok
+        self.sync_gradients()
+        gs = (grad_scale_fn(total_tokens) if grad_scale_fn
+              else 1.0 / max(total_tokens, 1) * self.world_size)
+        for trainer in self.trainers:
+            trainer.step(lr=lr, grad_scale=gs)
+        return total_loss, total_tokens
+
+    def parameters_in_sync(self, atol: float = 0.0) -> bool:
+        """True if every replica holds identical parameters."""
+        ref = list(self.replicas[0].parameters())
+        for r in self.replicas[1:]:
+            for p0, p in zip(ref, r.parameters()):
+                if not np.allclose(p0.data.astype(np.float32),
+                                   p.data.astype(np.float32), atol=atol,
+                                   rtol=0.0):
+                    return False
+        return True
+
+
+def shard_batch(arrays: Sequence[np.ndarray], world_size: int
+                ) -> List[Tuple[np.ndarray, ...]]:
+    """Split each array along axis 0 into ``world_size`` near-equal shards."""
+    splits = [np.array_split(a, world_size, axis=0) for a in arrays]
+    shards = []
+    for i in range(world_size):
+        shard = tuple(s[i] for s in splits)
+        if any(x.shape[0] == 0 for x in shard):
+            raise ValueError(
+                f"batch of {arrays[0].shape[0]} too small for "
+                f"{world_size}-way sharding")
+        shards.append(shard)
+    return shards

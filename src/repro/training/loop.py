@@ -1,0 +1,118 @@
+"""Single-device training loop with per-stage tracing.
+
+``train_step`` runs the four Fig.-3 stages under their device stage scopes
+so the resulting kernel trace can be replayed into the Fig.-4 breakdown;
+``train_epoch`` iterates a batch stream, handling loss-scale skips and
+gradient normalisation exactly like fairseq (loss summed over tokens,
+update scaled by 1/num_tokens, optional loss scaling folded in).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from ..backend.device import current_device
+from ..layers.base import Layer
+from .trainer import TrainerBase
+
+
+@dataclass
+class StepResult:
+    """Outcome of one optimisation step."""
+
+    loss: float
+    num_tokens: int
+    applied: bool          # False when the scaler skipped the update
+
+    @property
+    def loss_per_token(self) -> float:
+        return self.loss / max(self.num_tokens, 1)
+
+
+def train_step(model: Layer, trainer: TrainerBase, batch: Sequence, *,
+               lr: Optional[float] = None) -> StepResult:
+    """One step: zero-grad, forward, backward, update (stages traced).
+
+    The backward runs on the loss *scaled* by the trainer's scaler (if
+    any); the inverse scale and the 1/num_tokens normalisation are folded
+    into the update's ``grad_scale``, so no standalone unscale pass exists
+    on the fused path — matching §3.2.
+    """
+    dev = current_device()
+    trainer.zero_grad()
+    scale = trainer.scaler.scale if trainer.scaler is not None else 1.0
+    with dev.stage_scope("forward"):
+        loss, ntok = model.forward(*batch)
+    with dev.stage_scope("backward"):
+        model.backward(grad_scale=scale)
+    gs = 1.0 / (scale * max(ntok, 1))
+    applied = trainer.step(lr=lr, grad_scale=gs)
+    return StepResult(loss=loss, num_tokens=ntok, applied=applied)
+
+
+@dataclass
+class EpochStats:
+    """Aggregates over an epoch of steps."""
+
+    losses: List[float] = field(default_factory=list)
+    tokens: int = 0
+    skipped: int = 0
+
+    @property
+    def steps(self) -> int:
+        return len(self.losses)
+
+    @property
+    def mean_loss_per_token(self) -> float:
+        if not self.losses or self.tokens == 0:
+            return float("nan")
+        return float(sum(self.losses)) / self.tokens
+
+
+def train_epoch(model: Layer, trainer: TrainerBase,
+                batches: Iterable[Sequence], *,
+                lr_fn: Optional[Callable[[int], float]] = None
+                ) -> EpochStats:
+    """Run every batch once; ``lr_fn(step)`` supplies the schedule."""
+    stats = EpochStats()
+    for batch in batches:
+        lr = lr_fn(trainer.step_count + 1) if lr_fn else None
+        res = train_step(model, trainer, batch, lr=lr)
+        stats.losses.append(res.loss)
+        stats.tokens += res.num_tokens
+        if not res.applied:
+            stats.skipped += 1
+    return stats
+
+
+def train_step_accumulated(model: Layer, trainer: TrainerBase,
+                           microbatches: Sequence[Sequence], *,
+                           lr: Optional[float] = None) -> StepResult:
+    """Gradient accumulation: several forward/backwards, ONE update.
+
+    The §3.3 alternative to huge single batches ("large batch training
+    requires more GPUs, gradient accumulation, or memory offload"): each
+    microbatch's gradients accumulate in place; the update normalises by
+    the total token count, so the result matches one big batch exactly
+    (modulo dropout randomness) — verified in
+    ``tests/training/test_accumulation_checkpointing.py``.
+    """
+    if not microbatches:
+        raise ValueError("no microbatches")
+    dev = current_device()
+    trainer.zero_grad()
+    scale = trainer.scaler.scale if trainer.scaler is not None else 1.0
+    total_loss = 0.0
+    total_tokens = 0
+    for mb in microbatches:
+        with dev.stage_scope("forward"):
+            loss, ntok = model.forward(*mb)
+        with dev.stage_scope("backward"):
+            model.backward(grad_scale=scale)
+        total_loss += loss
+        total_tokens += ntok
+    gs = 1.0 / (scale * max(total_tokens, 1))
+    applied = trainer.step(lr=lr, grad_scale=gs)
+    return StepResult(loss=total_loss, num_tokens=total_tokens,
+                      applied=applied)

@@ -1,0 +1,261 @@
+"""Trainers (stage 4 of Fig. 3): three fidelity levels of §3.2.
+
+* :class:`NaiveMPTrainer` — the Fairseq/PyTorch baseline.  In FP16 mode it
+  keeps an FP32 master copy per parameter and launches three kernels per
+  tensor per step (grad convert, FP32 Adam, weight copy-back); in FP32 mode
+  one Adam kernel per tensor.  Plus a memset kernel per tensor in
+  ``zero_grad`` — the "chipped kernel" storm of Fig. 7 (left).
+* :class:`ApexLikeTrainer` — Apex ``FusedAdam``: multi-tensor chunks, but
+  FP32 masters retained.  The §3.2 comparison baseline ("Fairseq trainer
+  with high kernel fusion from Apex").
+* :class:`LSFusedTrainer` — LightSeq2: copies every parameter once into a
+  contiguous workspace, re-links the model's Parameters as views (symbolic
+  tensor link), and updates the whole model with ONE fused kernel doing
+  on-the-fly FP16↔FP32 conversion.  No masters, no per-tensor launches.
+
+All trainers share :func:`adam_math`/:func:`sgd_math`, so FP32 parameter
+trajectories are bit-identical and FP16 trajectories differ only by storage
+rounding — enforced by ``tests/training/test_trainer_equivalence.py``.
+
+Mixed-precision overflow handling (loss scaling) is uniform: callers pass a
+scaler; a step with non-finite gradients is skipped and the scale adjusted,
+identically across trainers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..backend.device import current_device
+from ..backend.kernels import record
+from ..backend.kernels.optimizer import (adam_update_apex, adam_update_fp32_naive,
+                                         adam_update_ls_fused,
+                                         adam_update_naive, sgd_math,
+                                         sgd_update_ls_fused,
+                                         sgd_update_naive)
+from ..backend.workspace import Workspace, build_workspace
+from ..layers.base import Layer, Parameter
+from .optimizers import OptimizerSpec
+
+
+class TrainerBase:
+    """Shared bookkeeping: step counter, overflow-skip protocol."""
+
+    def __init__(self, model: Layer, spec: OptimizerSpec,
+                 scaler: Optional[object] = None):
+        self.model = model
+        self.spec = spec
+        self.scaler = scaler
+        self.step_count = 0
+        self.skipped_steps = 0
+
+    # subclasses provide _grads() and _apply(lr, grad_scale)
+
+    def _grads(self) -> Sequence[np.ndarray]:
+        raise NotImplementedError
+
+    def _apply(self, lr: float, grad_scale: float) -> None:
+        raise NotImplementedError
+
+    def zero_grad(self) -> None:
+        raise NotImplementedError
+
+    def step(self, lr: Optional[float] = None,
+             grad_scale: float = 1.0) -> bool:
+        """Run one optimisation step under the "update" stage.
+
+        ``grad_scale`` multiplies gradients inside the update kernels —
+        callers pass 1/(loss_scale * num_tokens) style normalisation.
+        Returns False if the step was skipped due to FP16 overflow.
+        """
+        dev = current_device()
+        with dev.stage_scope("update"):
+            if self.scaler is not None:
+                overflow = self.scaler.check_overflow(self._grads())
+                self.scaler.update(overflow)
+                if overflow:
+                    self.skipped_steps += 1
+                    return False
+            self.step_count += 1
+            self._apply(lr if lr is not None else self.spec.lr, grad_scale)
+        return True
+
+
+class NaiveMPTrainer(TrainerBase):
+    """Per-tensor baseline trainer (Fairseq without Apex)."""
+
+    def __init__(self, model: Layer, spec: OptimizerSpec,
+                 scaler: Optional[object] = None):
+        super().__init__(model, spec, scaler)
+        self.params: List[Parameter] = list(model.parameters())
+        self.fp16 = any(p.fp16 for p in self.params)
+        if self.fp16:
+            # FP32 master copies: the Fig.-7-left redundant footprint
+            self.masters = [p.data.astype(np.float32) for p in self.params]
+        else:
+            self.masters = None
+        self.m = [np.zeros(p.shape, dtype=np.float32) for p in self.params]
+        self.v = [np.zeros(p.shape, dtype=np.float32) for p in self.params]
+
+    def _grads(self) -> Sequence[np.ndarray]:
+        return [p.grad for p in self.params]
+
+    def zero_grad(self) -> None:
+        """One memset launch per tensor."""
+        for p in self.params:
+            p.grad[...] = 0
+            record("zero_grad", 0, p.grad.size, fp16=p.fp16)
+
+    def _apply(self, lr: float, grad_scale: float) -> None:
+        hp = self.spec.adam_hparams(lr)
+        for i, p in enumerate(self.params):
+            if self.spec.kind == "adam":
+                if self.fp16:
+                    adam_update_naive(p.data, p.grad, self.masters[i],
+                                      self.m[i], self.v[i], self.step_count,
+                                      hp, grad_scale=grad_scale)
+                else:
+                    adam_update_fp32_naive(p.data, p.grad, self.m[i],
+                                           self.v[i], self.step_count, hp,
+                                           grad_scale=grad_scale)
+            else:
+                g = p.grad if grad_scale == 1.0 else \
+                    (p.grad.astype(np.float32) * grad_scale).astype(p.grad.dtype)
+                if self.fp16:
+                    sgd_update_naive(p.data, g, self.masters[i], self.m[i],
+                                     lr, self.spec.momentum,
+                                     self.spec.weight_decay)
+                else:
+                    p.data[...] = sgd_math(p.data, g.astype(np.float32),
+                                           self.m[i], lr, self.spec.momentum,
+                                           self.spec.weight_decay)
+                    record("sgd_update_fp32", 2 * p.size, 2 * p.size,
+                           flops=4 * p.size, fp16=False)
+
+    def extra_state_bytes(self) -> int:
+        """Trainer-owned memory beyond params/grads.
+
+        FP16 mode keeps an FP32 master copy AND a persistent FP32 gradient
+        buffer per parameter (fairseq's FP16Optimizer layout) on top of the
+        FP32 Adam m/v — the Fig.-7-left redundancy.
+        """
+        n = sum(p.size for p in self.params)
+        masters_and_fp32_grads = 8 * n if self.fp16 else 0
+        return masters_and_fp32_grads + 8 * n
+
+
+class ApexLikeTrainer(TrainerBase):
+    """Apex FusedAdam baseline: multi-tensor kernels, FP32 masters kept."""
+
+    def __init__(self, model: Layer, spec: OptimizerSpec,
+                 scaler: Optional[object] = None):
+        if spec.kind != "adam":
+            raise ValueError("apex-like trainer implements FusedAdam only")
+        super().__init__(model, spec, scaler)
+        self.params: List[Parameter] = list(model.parameters())
+        self.fp16 = any(p.fp16 for p in self.params)
+        self.masters = [p.data.astype(np.float32) for p in self.params]
+        self.m = [np.zeros(p.shape, dtype=np.float32) for p in self.params]
+        self.v = [np.zeros(p.shape, dtype=np.float32) for p in self.params]
+
+    def _grads(self) -> Sequence[np.ndarray]:
+        return [p.grad for p in self.params]
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.grad[...] = 0
+            record("zero_grad", 0, p.grad.size, fp16=p.fp16)
+
+    def _apply(self, lr: float, grad_scale: float) -> None:
+        hp = self.spec.adam_hparams(lr)
+        if self.fp16:
+            # fairseq FP16Optimizer around apex FusedAdam: per-tensor FP16
+            # grad -> FP32 copy, fused multi-tensor Adam on the FP32
+            # masters, per-tensor FP32 -> FP16 weight copy-back.  Only the
+            # Adam op itself is fused; the copy storm remains.  Processed
+            # chunk-by-chunk so the transient FP32 grads stay bounded
+            # (multi_tensor_apply's own working-set behaviour).
+            from ..backend.kernels.optimizer import APEX_CHUNK_TENSORS
+            n = len(self.params)
+            for lo in range(0, n, APEX_CHUNK_TENSORS):
+                hi = min(lo + APEX_CHUNK_TENSORS, n)
+                g32s = []
+                for p in self.params[lo:hi]:
+                    g32 = p.grad.astype(np.float32) * np.float32(grad_scale)
+                    record("grad_fp16_to_fp32_copy", p.grad.size, g32.size,
+                           fp16=False)
+                    g32s.append(g32)
+                adam_update_apex(self.masters[lo:hi], g32s,
+                                 self.masters[lo:hi], self.m[lo:hi],
+                                 self.v[lo:hi], self.step_count, hp)
+                for p, master in zip(self.params[lo:hi],
+                                     self.masters[lo:hi]):
+                    p.data[...] = master.astype(p.data.dtype)
+                    record("weight_fp32_to_fp16_copy", master.size,
+                           p.data.size, fp16=True)
+        else:
+            adam_update_apex([p.data for p in self.params],
+                             [p.grad for p in self.params],
+                             self.masters, self.m, self.v, self.step_count,
+                             hp, grad_scale=grad_scale)
+
+    def extra_state_bytes(self) -> int:
+        n = sum(p.size for p in self.params)
+        masters_and_fp32_grads = 8 * n if self.fp16 else 0
+        return masters_and_fp32_grads + 8 * n   # + m/v
+
+
+class LSFusedTrainer(TrainerBase):
+    """LightSeq2 trainer: workspace + symbolic link + one fused kernel."""
+
+    def __init__(self, model: Layer, spec: OptimizerSpec,
+                 scaler: Optional[object] = None):
+        super().__init__(model, spec, scaler)
+        params = list(model.parameters())
+        self.fp16 = any(p.fp16 for p in params)
+        # one-time copy into the workspace, then re-link every Parameter
+        self.workspace: Workspace = build_workspace(
+            [(p.name, p.data) for p in params], fp16=self.fp16)
+        for p in params:
+            p.link(self.workspace.param_view(p.name),
+                   self.workspace.grad_view(p.name))
+        self.params = params
+        n = self.workspace.total_elems
+        self.m = np.zeros(n, dtype=np.float32)
+        self.v = np.zeros(n, dtype=np.float32)
+
+    def _grads(self) -> Sequence[np.ndarray]:
+        return [self.workspace.grads]      # ONE overflow check, not hundreds
+
+    def zero_grad(self) -> None:
+        self.workspace.zero_grad()         # single memset launch
+
+    def _apply(self, lr: float, grad_scale: float) -> None:
+        hp = self.spec.adam_hparams(lr)
+        if self.spec.kind == "adam":
+            adam_update_ls_fused(self.workspace.params, self.workspace.grads,
+                                 self.m, self.v, self.step_count, hp,
+                                 fp16=self.fp16, grad_scale=grad_scale)
+        else:
+            g = self.workspace.grads
+            if grad_scale != 1.0:
+                g = (g.astype(np.float32) * grad_scale).astype(g.dtype)
+            sgd_update_ls_fused(self.workspace.params, g, self.m, lr,
+                                self.spec.momentum, self.spec.weight_decay,
+                                fp16=self.fp16)
+
+    def extra_state_bytes(self) -> int:
+        """No masters, no FP32 grads — only Adam m/v (Fig. 7 right)."""
+        return 8 * self.workspace.total_elems
+
+
+def make_trainer(kind: str, model: Layer, spec: OptimizerSpec,
+                 scaler: Optional[object] = None) -> TrainerBase:
+    """Factory: "naive" | "apex" | "lightseq"."""
+    cls = {"naive": NaiveMPTrainer, "apex": ApexLikeTrainer,
+           "lightseq": LSFusedTrainer}.get(kind)
+    if cls is None:
+        raise ValueError(f"unknown trainer kind {kind!r}")
+    return cls(model, spec, scaler)

@@ -1,0 +1,49 @@
+"""Precision policy helpers."""
+
+import numpy as np
+import pytest
+
+from repro.backend import dtypes as dt
+
+
+def test_storage_dtype():
+    assert dt.storage_dtype(True) == np.float16
+    assert dt.storage_dtype(False) == np.float32
+
+
+def test_to_compute_no_copy_for_fp32():
+    x = np.zeros(4, dtype=np.float32)
+    assert dt.to_compute(x) is x
+
+
+def test_to_compute_widens_fp16():
+    x = np.zeros(4, dtype=np.float16)
+    y = dt.to_compute(x)
+    assert y.dtype == np.float32
+
+
+def test_to_storage_roundtrip():
+    x = np.array([1.0, 2.5], dtype=np.float32)
+    h = dt.to_storage(x, fp16=True)
+    assert h.dtype == np.float16
+    assert dt.to_storage(h, fp16=True) is h
+
+
+def test_itemsize_and_nbytes():
+    assert dt.itemsize(True) == 2
+    assert dt.itemsize(False) == 4
+    assert dt.nbytes((2, 3, 4), True) == 48
+    assert dt.nbytes((), False) == 4
+
+
+def test_assert_finite():
+    dt.assert_finite(np.ones(3))
+    with pytest.raises(FloatingPointError):
+        dt.assert_finite(np.array([1.0, np.nan]))
+    with pytest.raises(FloatingPointError):
+        dt.assert_finite(np.array([np.inf]))
+
+
+def test_has_overflow():
+    assert not dt.has_overflow(np.ones(3))
+    assert dt.has_overflow(np.array([np.inf, 1.0]))

@@ -1,0 +1,67 @@
+"""Trace aggregation: stage/kernel grouping, GEMM split, trace diffs."""
+
+import pytest
+
+from repro.backend.device import Device, use_device
+from repro.backend.profiler import (KernelStats, by_kernel, by_stage,
+                                    compare, format_stage_table, split_gemm)
+
+
+@pytest.fixture
+def trace():
+    d = Device()
+    with use_device(d):
+        d.record("a", 10, 10, flops=5)
+        d.record("gemm_x", 100, 50, flops=1000, is_gemm=True)
+        with d.stage_scope("backward"):
+            d.record("a", 20, 20, flops=10)
+    return d.launches
+
+
+def test_by_stage(trace):
+    s = by_stage(trace)
+    assert s["forward"].launches == 2
+    assert s["backward"].launches == 1
+    assert s["backward"].flops == 10
+    assert s["sync"].launches == 0
+
+
+def test_by_kernel(trace):
+    k = by_kernel(trace)
+    assert k["a"].launches == 2
+    assert k["a"].elems_read == 30
+    assert k["gemm_x"].gemm_launches == 1
+
+
+def test_split_gemm(trace):
+    s = split_gemm(trace)
+    assert s["gemm"].launches == 1
+    assert s["non_gemm"].launches == 2
+    assert s["gemm"].flops == 1000
+
+
+def test_merge():
+    a, b = KernelStats(), KernelStats()
+    a.launches, a.flops = 2, 10
+    b.launches, b.flops = 3, 5
+    m = a.merge(b)
+    assert m.launches == 5 and m.flops == 15
+
+
+def test_compare_ratios(trace):
+    half = trace[:1]
+    diff = compare(trace, half)
+    assert diff.launch_ratio == pytest.approx(1 / 3)
+    assert 0 < diff.bytes_ratio < 1
+
+
+def test_compare_empty_baseline():
+    import math
+    diff = compare([], [])
+    assert math.isnan(diff.launch_ratio)
+
+
+def test_format_stage_table(trace):
+    txt = format_stage_table(by_stage(trace))
+    assert "forward" in txt and "update" in txt
+    assert len(txt.splitlines()) == 5

@@ -1,0 +1,73 @@
+"""Workspace: contiguity, symbolic tensor link semantics, accounting."""
+
+import numpy as np
+import pytest
+
+from repro.backend.workspace import Workspace, build_workspace
+
+
+def test_offsets_are_contiguous():
+    ws = Workspace([("a", (2, 3)), ("b", (4,)), ("c", (1, 1))], fp16=True)
+    assert ws.offset_of("a") == 0
+    assert ws.offset_of("b") == 6
+    assert ws.offset_of("c") == 10
+    assert ws.total_elems == 11
+    assert ws.params.dtype == np.float16
+
+
+def test_duplicate_names_rejected():
+    with pytest.raises(ValueError):
+        Workspace([("a", (2,)), ("a", (3,))])
+
+
+def test_views_alias_the_workspace():
+    """The symbolic tensor link: views share storage with the flat array."""
+    ws = Workspace([("a", (2, 2)), ("b", (3,))], fp16=True)
+    va = ws.param_view("a")
+    assert ws.is_linked(va)
+    # writing through the view is visible in the flat workspace
+    va[0, 0] = 7.0
+    assert ws.params[0] == np.float16(7.0)
+    # and updating the workspace is visible through the view
+    ws.params[:] = 1.0
+    assert va[1, 1] == np.float16(1.0)
+
+
+def test_load_and_shape_check(rng):
+    val = rng.standard_normal((2, 3)).astype(np.float32)
+    ws = Workspace([("a", (2, 3))], fp16=False)
+    ws.load("a", val)
+    np.testing.assert_array_equal(ws.param_view("a"), val)
+    with pytest.raises(ValueError):
+        ws.load("a", val.T)
+
+
+def test_build_workspace_preserves_values(rng):
+    named = [("x", rng.standard_normal((4,)).astype(np.float32)),
+             ("y", rng.standard_normal((2, 2)).astype(np.float32))]
+    ws = build_workspace(named, fp16=True)
+    for name, val in named:
+        np.testing.assert_allclose(ws.param_view(name),
+                                   val.astype(np.float16))
+
+
+def test_zero_grad_single_pass():
+    ws = Workspace([("a", (8,)), ("b", (8,))], fp16=True)
+    ws.grads[:] = 3.0
+    ws.zero_grad()
+    assert not ws.grads.any()
+
+
+def test_nbytes_accounting():
+    ws = Workspace([("a", (100,))], fp16=True)
+    assert ws.nbytes() == 2 * 100 * 2       # params + grads at 2B
+    ws32 = Workspace([("a", (100,))], fp16=False)
+    assert ws32.nbytes() == 2 * 100 * 4
+
+
+def test_grad_views_accumulate():
+    ws = Workspace([("a", (4,))], fp16=True)
+    g = ws.grad_view("a")
+    g += 1.0
+    g += 1.0
+    np.testing.assert_array_equal(ws.grads, np.full(4, 2.0, np.float16))

@@ -1,0 +1,18 @@
+"""The `python -m repro.bench` CLI."""
+
+import pytest
+
+from repro.bench.__main__ import main
+
+
+def test_unknown_experiment_rejected(capsys):
+    assert main(["not_a_figure"]) == 2
+    assert "unknown experiments" in capsys.readouterr().out
+
+
+def test_runs_named_experiment(capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "quick")
+    assert main(["fig01"]) == 0
+    out = capsys.readouterr().out
+    assert "Fig. 1 companion" in out
+    assert "all shape claims hold" in out

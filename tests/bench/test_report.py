@@ -1,0 +1,40 @@
+"""EXPERIMENTS.md report generation."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench.figures import ALL_EXPERIMENTS
+from repro.bench.harness import ExperimentResult
+from repro.bench.report import PAPER_EXPECTATIONS, write_report
+
+
+def _result(name="Fig. X — demo", ok=True):
+    r = ExperimentResult(name, ["a"], [[1.0]])
+    r.claim("c1", ok, "detail")
+    return r
+
+
+def test_report_structure(tmp_path):
+    path = tmp_path / "EXPERIMENTS.md"
+    write_report([_result(), _result(ok=False)], ["fig13", "fig14"],
+                 str(path), "quick")
+    text = path.read_text()
+    assert text.startswith("# EXPERIMENTS")
+    assert "Scorecard" in text
+    assert text.count("| fig1") == 2
+    # paper expectations quoted next to measurements
+    assert PAPER_EXPECTATIONS["fig13"].split(":")[0] in text
+    assert "[PASS] c1" in text and "[FAIL] c1" in text
+
+
+def test_every_experiment_has_paper_expectation():
+    """The report must be able to quote the paper for all experiments."""
+    missing = set(ALL_EXPERIMENTS) - set(PAPER_EXPECTATIONS)
+    assert not missing, f"add PAPER_EXPECTATIONS for {missing}"
+
+
+def test_report_records_scale(tmp_path):
+    path = tmp_path / "r.md"
+    write_report([_result()], ["fig13"], str(path), "paper")
+    assert "Scale: `paper`" in path.read_text()

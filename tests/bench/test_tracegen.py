@@ -1,0 +1,169 @@
+"""Trace generator: the affine-in-batch model must be EXACT, and retagging
+must preserve structure."""
+
+import numpy as np
+import pytest
+
+from repro.bench.tracegen import (TraceStructureError, batch_affine_model,
+                                  bert_step_trace, cached_batch_model,
+                                  clear_cache, fixed_shape_mt_batch,
+                                  mt_step_trace, retag, vit_step_trace)
+from repro.config import get_config
+
+
+@pytest.fixture
+def cfg():
+    return get_config("transformer-base", max_batch_tokens=2048,
+                      max_seq_len=32, hidden_dim=32, nhead=4, ffn_dim=64,
+                      vocab_size=120, num_encoder_layers=1,
+                      num_decoder_layers=1, fp16=True)
+
+
+def _records(trace):
+    return [(k.name, k.stage, k.elems_read, k.elems_written, k.flops,
+             k.is_gemm, k.dtype_bytes, k.lib) for k in trace]
+
+
+class TestAffineExactness:
+    @pytest.mark.parametrize("trainer", ["naive", "lightseq"])
+    @pytest.mark.parametrize("fused", [True, False])
+    def test_mt_extrapolation_exact(self, cfg, trainer, fused):
+        """trace(B) predicted from B∈{2,4} must equal direct execution at
+        B∈{3, 8, 16} record-for-record."""
+        c = cfg.with_overrides(fused=fused)
+
+        def make(b):
+            return mt_step_trace(c, b, 12, trainer_kind=trainer)
+
+        model = batch_affine_model(make(2), make(4), 2, 4)
+        for b in (3, 8, 16):
+            assert _records(model(b)) == _records(make(b)), f"B={b}"
+
+    def test_bert_extrapolation_exact(self):
+        c = get_config("bert-base", max_batch_tokens=2048, max_seq_len=32,
+                       hidden_dim=32, nhead=4, ffn_dim=64, vocab_size=120,
+                       num_encoder_layers=1, fp16=True)
+
+        def make(b):
+            return bert_step_trace(c, b, 16)
+
+        model = batch_affine_model(make(2), make(4), 2, 4)
+        assert _records(model(8)) == _records(make(8))
+
+    def test_vit_extrapolation_exact(self):
+        c = get_config("vit-b-32", max_batch_tokens=2048, max_seq_len=64,
+                       hidden_dim=32, nhead=4, ffn_dim=64,
+                       num_encoder_layers=1, image_size=64, patch_size=32)
+
+        def make(b):
+            return vit_step_trace(c, b)
+
+        model = batch_affine_model(make(2), make(4), 2, 4)
+        assert _records(model(6)) == _records(make(6))
+
+    def test_structure_mismatch_detected(self, cfg):
+        t2 = mt_step_trace(cfg, 2, 12)
+        with pytest.raises(TraceStructureError):
+            batch_affine_model(t2, t2[:-1], 2, 4)
+
+    def test_same_batch_rejected(self, cfg):
+        t = mt_step_trace(cfg, 2, 12)
+        with pytest.raises(ValueError):
+            batch_affine_model(t, t, 2, 2)
+
+
+class TestRetag:
+    def test_retag_changes_only_lib(self, cfg):
+        t = mt_step_trace(cfg, 2, 12)
+        r = retag(t, "tensorflow")
+        assert all(k.lib == "tensorflow" for k in r)
+        assert [(k.name, k.elems_read, k.flops) for k in r] == \
+               [(k.name, k.elems_read, k.flops) for k in t]
+
+
+class TestCache:
+    def test_cached_model_reused(self, cfg):
+        clear_cache()
+        calls = []
+
+        def make(b):
+            calls.append(b)
+            return mt_step_trace(cfg, b, 12)
+
+        m1 = cached_batch_model(("k", 1), make)
+        m2 = cached_batch_model(("k", 1), make)
+        assert m1 is m2
+        assert calls == [2, 4]       # collected exactly once
+        clear_cache()
+
+
+def test_fixed_shape_batch_dense():
+    src, ti, to = fixed_shape_mt_batch(3, 9, 50)
+    assert src.shape == ti.shape == to.shape == (3, 9)
+    # no padding anywhere (dense batch => exact token accounting)
+    assert not (src == 1).any() and not (to == 1).any()
+
+
+class TestDepthSynthesis:
+    """Deep-stack traces from shallow executions — exact as multisets."""
+
+    def _cfg(self, d, fused):
+        return get_config(
+            "transformer-base", max_batch_tokens=2048, max_seq_len=32,
+            hidden_dim=32, nhead=4, ffn_dim=64, vocab_size=120,
+            num_encoder_layers=d, num_decoder_layers=d, fp16=True,
+            fused=fused)
+
+    @pytest.mark.parametrize("fused,trainer", [
+        (True, "lightseq"), (False, "naive"), (False, "apex")])
+    def test_exact_multiset_at_unseen_depths(self, fused, trainer):
+        from collections import Counter
+
+        from repro.bench.tracegen import _full_key, depth_synthesis_model
+
+        def make(d):
+            return mt_step_trace(self._cfg(d, fused), 2, 12,
+                                 trainer_kind=trainer)
+
+        model = depth_synthesis_model(make(1), make(2), 1, 2)
+        for d in (3, 5):
+            assert Counter(map(_full_key, model(d))) == \
+                Counter(map(_full_key, make(d))), f"depth {d}"
+
+    def test_composed_batch_and_depth(self):
+        from collections import Counter
+
+        from repro.bench.tracegen import _full_key, batch_and_depth_model
+
+        def make(b, d):
+            return mt_step_trace(self._cfg(d, True), b, 12,
+                                 trainer_kind="lightseq")
+
+        model = batch_and_depth_model(make, 2, 4, 1, 2)
+        real = make(8, 3)
+        assert Counter(map(_full_key, model(8, 3))) == \
+            Counter(map(_full_key, real))
+
+    def test_invalid_depths(self):
+        from repro.bench.tracegen import depth_synthesis_model
+        t = mt_step_trace(self._cfg(1, True), 2, 12)
+        with pytest.raises(ValueError):
+            depth_synthesis_model(t, t, 2, 2)
+
+    def test_sized_singletons_interpolated(self):
+        """The fused zero-grad / Adam records carry depth-dependent sizes;
+        at depth 3 they must equal the real ones."""
+        from repro.bench.tracegen import depth_synthesis_model
+
+        def make(d):
+            return mt_step_trace(self._cfg(d, True), 2, 12,
+                                 trainer_kind="lightseq")
+
+        model = depth_synthesis_model(make(1), make(2), 1, 2)
+        synth = {k.name: k for k in model(3)
+                 if k.name in ("ls_zero_grad", "ls_fused_adam")}
+        real = {k.name: k for k in make(3)
+                if k.name in ("ls_zero_grad", "ls_fused_adam")}
+        for name in ("ls_zero_grad", "ls_fused_adam"):
+            assert synth[name].elems_written == real[name].elems_written
+            assert synth[name].flops == real[name].flops

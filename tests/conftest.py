@@ -1,0 +1,59 @@
+"""Shared fixtures and numerical-gradient utilities for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import LSConfig, get_config
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_config() -> LSConfig:
+    """A small but non-degenerate Transformer config for layer tests."""
+    return get_config(
+        "transformer-base", max_batch_tokens=512, max_seq_len=32,
+        hidden_dim=32, nhead=4, ffn_dim=64, vocab_size=101,
+        num_encoder_layers=2, num_decoder_layers=2)
+
+
+@pytest.fixture
+def tiny_config_fp16(tiny_config) -> LSConfig:
+    return tiny_config.with_overrides(fp16=True)
+
+
+def numerical_grad(f, x: np.ndarray, eps: float = 1e-3) -> np.ndarray:
+    """Central-difference gradient of scalar-valued ``f`` w.r.t. ``x``.
+
+    Uses float64 internally so the comparison tolerance reflects the
+    analytic implementation, not the probe.
+    """
+    x = x.astype(np.float64)
+    g = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        fp = f(x.astype(np.float32))
+        x[idx] = orig - eps
+        fm = f(x.astype(np.float32))
+        x[idx] = orig
+        g[idx] = (fp - fm) / (2 * eps)
+        it.iternext()
+    return g.astype(np.float32)
+
+
+def assert_grad_close(analytic: np.ndarray, numeric: np.ndarray,
+                      atol: float = 2e-2, rtol: float = 5e-2) -> None:
+    """Compare analytic vs finite-difference gradients with a scale-aware
+    tolerance (FP32 forward passes limit the probe accuracy)."""
+    denom = np.maximum(np.abs(numeric), 1.0)
+    err = np.abs(analytic - numeric) / denom
+    assert err.max() < max(atol, rtol), \
+        f"gradient mismatch: max rel err {err.max():.4f}"

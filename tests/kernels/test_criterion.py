@@ -1,0 +1,132 @@
+"""Criterion kernels: label-smoothed CE value, gradient (paper erratum),
+padding exclusion."""
+
+import numpy as np
+import pytest
+
+from repro.backend.kernels import criterion as crit
+
+from ..conftest import assert_grad_close, numerical_grad
+
+
+@pytest.fixture
+def setup(rng):
+    n, v = 6, 11
+    logits = rng.standard_normal((n, v)).astype(np.float32)
+    targets = rng.integers(0, v, n)
+    return logits, targets
+
+
+def _reference_loss(logits, targets, alpha, ignore=-100):
+    """Independent float64 reference implementation."""
+    x = logits.astype(np.float64)
+    x = x - x.max(-1, keepdims=True)
+    logq = x - np.log(np.exp(x).sum(-1, keepdims=True))
+    v = x.shape[-1]
+    total = 0.0
+    for i, t in enumerate(targets):
+        if t == ignore:
+            continue
+        p = np.full(v, alpha / v)
+        p[t] += 1 - alpha
+        total += -(p * logq[i]).sum()
+    return total
+
+
+@pytest.mark.parametrize("alpha", [0.0, 0.1, 0.5])
+def test_forward_matches_reference(setup, alpha):
+    logits, targets = setup
+    for fn in (crit.criterion_forward_naive, crit.criterion_forward_fused):
+        loss, ntok, _ = fn(logits, targets, alpha)
+        assert ntok == len(targets)
+        assert loss == pytest.approx(
+            _reference_loss(logits, targets, alpha), rel=1e-4)
+
+
+def test_fused_matches_naive(setup):
+    logits, targets = setup
+    l1, n1, q1 = crit.criterion_forward_naive(logits, targets, 0.1)
+    l2, n2, q2 = crit.criterion_forward_fused(logits, targets, 0.1)
+    assert l1 == pytest.approx(l2, rel=1e-5)
+    assert n1 == n2
+    np.testing.assert_allclose(q1, q2, atol=1e-6)
+    g1 = crit.criterion_backward_naive(q1, targets, 0.1)
+    g2 = crit.criterion_backward_fused(q2, targets, 0.1)
+    np.testing.assert_allclose(g1, g2, atol=1e-6)
+
+
+@pytest.mark.parametrize("alpha", [0.0, 0.1])
+def test_gradient_finite_differences(setup, alpha):
+    """Pins the corrected sign: dy_i = q_i - alpha/V - (1-alpha)[i==gt]
+    (the paper prints -q_i, which fails this check)."""
+    logits, targets = setup
+    _, _, q = crit.criterion_forward_fused(logits, targets, alpha)
+    g = crit.criterion_backward_fused(q, targets, alpha)
+
+    def loss(lv):
+        l, _, _ = crit.criterion_forward_fused(lv, targets, alpha)
+        return l
+
+    assert_grad_close(g, numerical_grad(loss, logits))
+
+
+def test_gradient_closed_form(setup):
+    logits, targets = setup
+    alpha = 0.2
+    v = logits.shape[-1]
+    _, _, q = crit.criterion_forward_fused(logits, targets, alpha)
+    g = crit.criterion_backward_fused(q, targets, alpha)
+    expect = q - alpha / v
+    expect[np.arange(len(targets)), targets] -= (1 - alpha)
+    np.testing.assert_allclose(g, expect, atol=1e-6)
+
+
+def test_gradient_rows_sum_to_zero(setup):
+    """CE-with-smoothing gradients sum to zero over the vocab per token."""
+    logits, targets = setup
+    _, _, q = crit.criterion_forward_fused(logits, targets, 0.1)
+    g = crit.criterion_backward_fused(q, targets, 0.1)
+    np.testing.assert_allclose(g.sum(-1), 0.0, atol=1e-5)
+
+
+def test_padding_excluded(rng):
+    logits = rng.standard_normal((4, 7)).astype(np.float32)
+    targets = np.array([3, -100, 5, -100])
+    loss, ntok, q = crit.criterion_forward_fused(logits, targets, 0.1,
+                                                 ignore_index=-100)
+    assert ntok == 2
+    ref = _reference_loss(logits, targets, 0.1)
+    assert loss == pytest.approx(ref, rel=1e-4)
+    g = crit.criterion_backward_fused(q, targets, 0.1, ignore_index=-100)
+    np.testing.assert_allclose(g[1], 0.0)
+    np.testing.assert_allclose(g[3], 0.0)
+    assert np.abs(g[0]).max() > 0
+
+
+def test_grad_scale_folded(setup):
+    logits, targets = setup
+    _, _, q = crit.criterion_forward_fused(logits, targets, 0.1)
+    g1 = crit.criterion_backward_fused(q, targets, 0.1, grad_scale=1.0)
+    g2 = crit.criterion_backward_fused(q, targets, 0.1, grad_scale=0.25)
+    np.testing.assert_allclose(g2, 0.25 * g1, rtol=1e-6)
+
+
+def test_3d_logits(rng):
+    """(B, L, V) shapes flatten correctly."""
+    logits = rng.standard_normal((2, 3, 9)).astype(np.float32)
+    targets = rng.integers(0, 9, (2, 3))
+    loss, ntok, q = crit.criterion_forward_fused(logits, targets, 0.1)
+    assert q.shape == logits.shape
+    assert ntok == 6
+    flat_loss, _, _ = crit.criterion_forward_fused(
+        logits.reshape(6, 9), targets.reshape(6), 0.1)
+    assert loss == pytest.approx(flat_loss, rel=1e-6)
+
+
+def test_alpha_zero_is_plain_nll(setup):
+    logits, targets = setup
+    loss, _, _ = crit.criterion_forward_fused(logits, targets, 0.0)
+    x = logits - logits.max(-1, keepdims=True)
+    logq = x - np.log(np.exp(x).sum(-1, keepdims=True))
+    nll = -logq[np.arange(len(targets)), targets].sum()
+    assert loss == pytest.approx(float(nll), rel=1e-5)

@@ -1,0 +1,132 @@
+"""Embedding kernels: fused==naive, scatter-add gradient, sinusoidal table."""
+
+import numpy as np
+import pytest
+
+from repro.backend.device import Device, use_device
+from repro.backend.kernels import elementwise as ew
+from repro.backend.kernels import embedding as embk
+
+
+@pytest.fixture
+def setup(rng):
+    vocab, hidden, b, l = 23, 8, 3, 5
+    table = rng.standard_normal((vocab, hidden)).astype(np.float32)
+    pos = embk.sinusoidal_positions(16, hidden)
+    tokens = rng.integers(0, vocab, (b, l))
+    return table, pos, tokens
+
+
+def test_sinusoidal_table_properties():
+    pos = embk.sinusoidal_positions(64, 12)
+    assert pos.shape == (64, 12)
+    # position 0: sin(0)=0 on the first half, cos(0)=1 on the second
+    np.testing.assert_allclose(pos[0, :6], 0.0, atol=1e-7)
+    np.testing.assert_allclose(pos[0, 6:], 1.0, atol=1e-7)
+    assert np.all(np.abs(pos) <= 1.0 + 1e-6)
+    # distinct positions get distinct encodings
+    assert not np.allclose(pos[1], pos[2])
+
+
+def test_sinusoidal_odd_dim_rejected():
+    with pytest.raises(ValueError):
+        embk.sinusoidal_positions(8, 7)
+
+
+def test_forward_fused_matches_naive(setup, rng):
+    table, pos, tokens = setup
+    mask = ew.make_dropout_mask((*tokens.shape, table.shape[1]), 0.2, rng)
+    y1, _ = embk.embedding_forward_naive(tokens, table, pos, 2.0, 0.2, rng,
+                                         mask=mask)
+    y2, _ = embk.embedding_forward_fused(tokens, table, pos, 2.0, 0.2, rng,
+                                         mask=mask)
+    np.testing.assert_allclose(y1, y2, atol=1e-6)
+
+
+def test_forward_formula(setup, rng):
+    """y = dropout(s*E_w + P_p): check the p=0 case exactly."""
+    table, pos, tokens = setup
+    y, _ = embk.embedding_forward_fused(tokens, table, pos, 3.0, 0.0, rng)
+    b, l = tokens.shape
+    expect = 3.0 * table[tokens] + pos[:l][None]
+    np.testing.assert_allclose(y, expect, atol=1e-6)
+
+
+def test_forward_validations(setup, rng):
+    table, pos, tokens = setup
+    with pytest.raises(ValueError):
+        embk.embedding_forward_fused(tokens[0], table, pos, 1.0, 0.0, rng)
+    long_tokens = np.zeros((1, pos.shape[0] + 1), dtype=np.int64)
+    with pytest.raises(ValueError):
+        embk.embedding_forward_fused(long_tokens, table, pos, 1.0, 0.0, rng)
+    bad = tokens.copy()
+    bad[0, 0] = table.shape[0]
+    with pytest.raises(ValueError):
+        embk.embedding_forward_fused(bad, table, pos, 1.0, 0.0, rng)
+
+
+def test_backward_fused_matches_naive(setup, rng):
+    table, pos, tokens = setup
+    h = table.shape[1]
+    dy = rng.standard_normal((*tokens.shape, h)).astype(np.float32)
+    mask = ew.make_dropout_mask(dy.shape, 0.2, rng)
+    g1 = embk.embedding_backward_naive(dy, tokens, mask, 2.0, 0.2,
+                                       table.shape[0])
+    g2 = embk.embedding_backward_fused(dy, tokens, mask, 2.0, 0.2,
+                                       table.shape[0])
+    np.testing.assert_allclose(g1, g2, atol=1e-5)
+
+
+def test_backward_accumulates_repeated_tokens(rng):
+    """The paper's atomicAdd: a token appearing k times gets the SUM of its
+    position gradients (np.add.at semantics, not last-write-wins)."""
+    vocab, h = 5, 4
+    tokens = np.array([[2, 2, 2]])
+    dy = np.ones((1, 3, h), dtype=np.float32)
+    mask = np.ones(dy.shape, dtype=np.uint8)
+    g = embk.embedding_backward_fused(dy, tokens, mask, 1.5, 0.0, vocab)
+    np.testing.assert_allclose(g[2], 1.5 * 3.0)
+    np.testing.assert_allclose(g[[0, 1, 3, 4]], 0.0)
+
+
+def test_backward_gradient_formula(setup, rng):
+    """dE_w = s * sum over occurrences of m ⊙ dy (paper §3.1.2)."""
+    table, pos, tokens = setup
+    h = table.shape[1]
+    s = 2.5
+    dy = rng.standard_normal((*tokens.shape, h)).astype(np.float32)
+    mask = ew.make_dropout_mask(dy.shape, 0.5, rng)
+    g = embk.embedding_backward_fused(dy, tokens, mask, s, 0.5, table.shape[0])
+    expect = np.zeros_like(table)
+    keep = 1.0 / 0.5
+    for i in range(tokens.shape[0]):
+        for j in range(tokens.shape[1]):
+            expect[tokens[i, j]] += s * keep * mask[i, j] * dy[i, j]
+    np.testing.assert_allclose(g, expect, rtol=1e-4, atol=1e-5)
+
+
+def test_padding_token_zeroed(setup, rng):
+    table, pos, tokens = setup
+    pad = 1
+    tokens = tokens.copy()
+    tokens[0, 0] = pad
+    y, _ = embk.embedding_forward_fused(tokens, table, pos, 1.0, 0.0, rng,
+                                        pad_idx=pad)
+    np.testing.assert_allclose(y[0, 0], 0.0)
+    dy = np.ones((*tokens.shape, table.shape[1]), dtype=np.float32)
+    mask = np.ones(dy.shape, dtype=np.uint8)
+    g = embk.embedding_backward_fused(dy, tokens, mask, 1.0, 0.0,
+                                      table.shape[0], pad_idx=pad)
+    np.testing.assert_allclose(g[pad], 0.0)
+
+
+def test_launch_counts(setup, rng):
+    table, pos, tokens = setup
+    dev = Device()
+    with use_device(dev):
+        embk.embedding_forward_naive(tokens, table, pos, 1.0, 0.1, rng)
+    assert dev.launch_count() == 4
+    dev.reset()
+    with use_device(dev):
+        embk.embedding_forward_fused(tokens, table, pos, 1.0, 0.1, rng)
+    assert dev.launch_count() == 1

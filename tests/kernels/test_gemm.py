@@ -1,0 +1,82 @@
+"""GEMM wrappers: math, FLOP accounting, backward correctness."""
+
+import numpy as np
+import pytest
+
+from repro.backend.device import Device, use_device
+from repro.backend.kernels import gemm
+
+from ..conftest import assert_grad_close, numerical_grad
+
+
+def test_matmul_matches_numpy(rng):
+    a = rng.standard_normal((5, 7)).astype(np.float32)
+    b = rng.standard_normal((7, 3)).astype(np.float32)
+    np.testing.assert_allclose(gemm.matmul(a, b), a @ b, rtol=1e-6)
+
+
+def test_linear_forward_layout(rng):
+    """fairseq layout: w is (out, in), y = x @ w.T."""
+    x = rng.standard_normal((2, 4, 6)).astype(np.float32)
+    w = rng.standard_normal((8, 6)).astype(np.float32)
+    y = gemm.linear_forward(x, w)
+    assert y.shape == (2, 4, 8)
+    np.testing.assert_allclose(y, x @ w.T, rtol=1e-5)
+
+
+def test_linear_backward_gradients(rng):
+    x = rng.standard_normal((3, 4)).astype(np.float32)
+    w = rng.standard_normal((5, 4)).astype(np.float32)
+    dy = rng.standard_normal((3, 5)).astype(np.float32)
+    dx, dw = gemm.linear_backward(x, w, dy)
+
+    def loss_x(xv):
+        return float((gemm.linear_forward(xv, w) * dy).sum())
+
+    def loss_w(wv):
+        return float((gemm.linear_forward(x, wv) * dy).sum())
+
+    assert_grad_close(dx, numerical_grad(loss_x, x))
+    assert_grad_close(dw, numerical_grad(loss_w, w))
+
+
+def test_linear_backward_batched_flattens(rng):
+    """dw must sum over ALL leading dims, matching a flattened GEMM."""
+    x = rng.standard_normal((2, 3, 4)).astype(np.float32)
+    w = rng.standard_normal((5, 4)).astype(np.float32)
+    dy = rng.standard_normal((2, 3, 5)).astype(np.float32)
+    _, dw = gemm.linear_backward(x, w, dy)
+    expect = dy.reshape(-1, 5).T @ x.reshape(-1, 4)
+    np.testing.assert_allclose(dw, expect, rtol=1e-5)
+
+
+def test_batched_matmul_broadcast(rng):
+    a = rng.standard_normal((2, 3, 4, 5)).astype(np.float32)
+    b = rng.standard_normal((2, 3, 5, 6)).astype(np.float32)
+    np.testing.assert_allclose(gemm.batched_matmul(a, b),
+                               np.matmul(a, b), rtol=1e-5)
+
+
+def test_flop_accounting(rng):
+    """2*M*N*K flops, batched included."""
+    a = rng.standard_normal((4, 8, 16)).astype(np.float32)
+    b = rng.standard_normal((4, 16, 8)).astype(np.float32)
+    dev = Device()
+    with use_device(dev):
+        gemm.batched_matmul(a, b)
+    (k,) = dev.launches
+    assert k.is_gemm
+    assert k.flops == 2 * 4 * 8 * 8 * 16
+
+
+def test_gemm_records_single_launch(rng):
+    x = rng.standard_normal((3, 4)).astype(np.float32)
+    w = rng.standard_normal((5, 4)).astype(np.float32)
+    dev = Device()
+    with use_device(dev):
+        gemm.linear_forward(x, w)
+    assert dev.launch_count() == 1
+    dev.reset()
+    with use_device(dev):
+        gemm.linear_backward(x, w, np.ones((3, 5), dtype=np.float32))
+    assert dev.launch_count() == 2   # dx and dw GEMMs

@@ -1,0 +1,121 @@
+"""LayerNorm kernels: fused==naive, paper formula, finite differences,
+launch accounting."""
+
+import numpy as np
+import pytest
+
+from repro.backend.device import Device, use_device
+from repro.backend.kernels import layernorm as lnk
+
+from ..conftest import assert_grad_close, numerical_grad
+
+
+@pytest.fixture
+def lninputs(rng):
+    x = rng.standard_normal((4, 6, 16)).astype(np.float32)
+    w = (1.0 + 0.1 * rng.standard_normal(16)).astype(np.float32)
+    b = (0.1 * rng.standard_normal(16)).astype(np.float32)
+    dy = rng.standard_normal(x.shape).astype(np.float32)
+    return x, w, b, dy
+
+
+def test_forward_fused_matches_naive(lninputs):
+    x, w, b, _ = lninputs
+    y1, mu1, r1 = lnk.layernorm_forward_naive(x, w, b)
+    y2, mu2, r2 = lnk.layernorm_forward_fused(x, w, b)
+    np.testing.assert_allclose(y1, y2, atol=1e-5)
+    np.testing.assert_allclose(mu1, mu2, atol=1e-6)
+    np.testing.assert_allclose(r1, r2, rtol=1e-4)
+
+
+def test_forward_normalizes(lninputs):
+    x, _, _, _ = lninputs
+    w = np.ones(16, dtype=np.float32)
+    b = np.zeros(16, dtype=np.float32)
+    y, _, _ = lnk.layernorm_forward_fused(x, w, b)
+    np.testing.assert_allclose(y.mean(axis=-1), 0.0, atol=1e-5)
+    np.testing.assert_allclose(y.std(axis=-1), 1.0, atol=1e-3)
+
+
+def test_backward_fused_matches_naive(lninputs):
+    """The paper's parallel-reduction rearrangement (with the sigma^2
+    erratum fixed) must equal the standard backward."""
+    x, w, b, dy = lninputs
+    _, mu, rstd = lnk.layernorm_forward_naive(x, w, b)
+    dx1, dw1, db1 = lnk.layernorm_backward_naive(dy, x, w, mu, rstd)
+    dx2, dw2, db2 = lnk.layernorm_backward_fused(dy, x, w, mu, rstd)
+    np.testing.assert_allclose(dx1, dx2, atol=1e-4)
+    np.testing.assert_allclose(dw1, dw2, atol=1e-4)
+    np.testing.assert_allclose(db1, db2, atol=1e-5)
+
+
+@pytest.mark.parametrize("variant", ["naive", "fused"])
+def test_backward_finite_differences(variant, rng):
+    x = rng.standard_normal((2, 3, 8)).astype(np.float32)
+    w = (1.0 + 0.1 * rng.standard_normal(8)).astype(np.float32)
+    b = (0.1 * rng.standard_normal(8)).astype(np.float32)
+    dy = rng.standard_normal(x.shape).astype(np.float32)
+    fwd = (lnk.layernorm_forward_naive if variant == "naive"
+           else lnk.layernorm_forward_fused)
+    bwd = (lnk.layernorm_backward_naive if variant == "naive"
+           else lnk.layernorm_backward_fused)
+    _, mu, rstd = fwd(x, w, b, eps=1e-6)
+    dx, dw, db = bwd(dy, x, w, mu, rstd)
+
+    def loss_wrt_x(xv):
+        y, _, _ = fwd(xv, w, b, eps=1e-6)
+        return float((y * dy).sum())
+
+    assert_grad_close(dx, numerical_grad(loss_wrt_x, x))
+
+    def loss_wrt_w(wv):
+        y, _, _ = fwd(x, wv, b, eps=1e-6)
+        return float((y * dy).sum())
+
+    assert_grad_close(dw, numerical_grad(loss_wrt_w, w))
+
+    def loss_wrt_b(bv):
+        y, _, _ = fwd(x, w, bv, eps=1e-6)
+        return float((y * dy).sum())
+
+    assert_grad_close(db, numerical_grad(loss_wrt_b, b))
+
+
+def test_launch_counts(lninputs):
+    """Naive fwd = 3 launches (two sequential reductions + affine); fused
+    fwd = 1.  Naive bwd = 3; fused bwd = 1."""
+    x, w, b, dy = lninputs
+    dev = Device()
+    with use_device(dev):
+        _, mu, rstd = lnk.layernorm_forward_naive(x, w, b)
+    assert dev.launch_count() == 3
+    dev.reset()
+    with use_device(dev):
+        lnk.layernorm_forward_fused(x, w, b)
+    assert dev.launch_count() == 1
+    dev.reset()
+    with use_device(dev):
+        lnk.layernorm_backward_naive(dy, x, w, mu, rstd)
+    assert dev.launch_count() == 3
+    dev.reset()
+    with use_device(dev):
+        lnk.layernorm_backward_fused(dy, x, w, mu, rstd)
+    assert dev.launch_count() == 1
+
+
+def test_param_shape_validation(lninputs):
+    x, w, b, _ = lninputs
+    with pytest.raises(ValueError):
+        lnk.layernorm_forward_fused(x, w[:-1], b)
+
+
+def test_fused_forward_variance_clamped(rng):
+    """A constant row has zero variance; the E[x^2]-E[x]^2 form must not
+    go negative under rounding."""
+    x = np.full((2, 8), 3.14, dtype=np.float32)
+    w = np.ones(8, dtype=np.float32)
+    b = np.zeros(8, dtype=np.float32)
+    y, _, rstd = lnk.layernorm_forward_fused(x, w, b)
+    assert np.all(np.isfinite(y))
+    assert np.all(np.isfinite(rstd))
+    np.testing.assert_allclose(y, 0.0, atol=1e-3)

@@ -1,0 +1,88 @@
+"""Head split/merge transforms: round trips, fused QKV epilogues."""
+
+import numpy as np
+import pytest
+
+from repro.backend.device import Device, use_device
+from repro.backend.kernels import transform as tr
+
+
+def test_split_merge_roundtrip(rng):
+    x = rng.standard_normal((2, 5, 12)).astype(np.float32)
+    y = tr.split_heads_naive(x, 3)
+    assert y.shape == (2, 3, 5, 4)
+    np.testing.assert_array_equal(tr.merge_heads_naive(y), x)
+
+
+def test_split_heads_content(rng):
+    x = rng.standard_normal((1, 2, 6)).astype(np.float32)
+    y = tr.split_heads_naive(x, 2)
+    # head 0 holds channels 0..2, head 1 channels 3..5
+    np.testing.assert_array_equal(y[0, 0, 1], x[0, 1, :3])
+    np.testing.assert_array_equal(y[0, 1, 0], x[0, 0, 3:])
+
+
+def test_split_heads_indivisible(rng):
+    with pytest.raises(ValueError):
+        tr.split_heads_naive(np.zeros((1, 2, 7), dtype=np.float32), 2)
+
+
+def test_bias_split_heads_fused(rng):
+    x = rng.standard_normal((2, 3, 8)).astype(np.float32)
+    b = rng.standard_normal(8).astype(np.float32)
+    fused = tr.bias_split_heads_fused(x, b, 4)
+    np.testing.assert_allclose(fused, tr.split_heads_naive(x + b, 4),
+                               atol=1e-6)
+
+
+def test_qkv_bias_split_heads_fused(rng):
+    h, nhead = 8, 2
+    x = rng.standard_normal((2, 3, 3 * h)).astype(np.float32)
+    b = rng.standard_normal(3 * h).astype(np.float32)
+    q, k, v = tr.qkv_bias_split_heads_fused(x, b, nhead)
+    xb = x + b
+    np.testing.assert_allclose(
+        q, tr.split_heads_naive(xb[..., :h], nhead), atol=1e-6)
+    np.testing.assert_allclose(
+        k, tr.split_heads_naive(xb[..., h:2 * h], nhead), atol=1e-6)
+    np.testing.assert_allclose(
+        v, tr.split_heads_naive(xb[..., 2 * h:], nhead), atol=1e-6)
+
+
+def test_qkv_split_validations(rng):
+    with pytest.raises(ValueError):
+        tr.qkv_bias_split_heads_fused(
+            np.zeros((1, 2, 7), dtype=np.float32),
+            np.zeros(7, dtype=np.float32), 2)
+    with pytest.raises(ValueError):
+        tr.qkv_bias_split_heads_fused(
+            np.zeros((1, 2, 9), dtype=np.float32),
+            np.zeros(9, dtype=np.float32), 2)
+
+
+def test_qkv_merge_is_split_adjoint(rng):
+    """merge(split(x)) recovers x and the bias grad is the row sum —
+    i.e. the fused backward is the exact adjoint of the fused forward."""
+    h, nhead = 6, 3
+    dq = rng.standard_normal((2, nhead, 4, h // nhead)).astype(np.float32)
+    dk = rng.standard_normal(dq.shape).astype(np.float32)
+    dv = rng.standard_normal(dq.shape).astype(np.float32)
+    dqkv, dbias = tr.qkv_merge_heads_fused(dq, dk, dv)
+    assert dqkv.shape == (2, 4, 3 * h)
+    np.testing.assert_allclose(dbias, dqkv.reshape(-1, 3 * h).sum(0),
+                               rtol=1e-5)
+    # round-trip: splitting the merged gradient recovers the pieces
+    q2, k2, v2 = tr.qkv_bias_split_heads_fused(
+        dqkv, np.zeros(3 * h, dtype=np.float32), nhead)
+    np.testing.assert_allclose(q2, dq, atol=1e-6)
+    np.testing.assert_allclose(k2, dk, atol=1e-6)
+    np.testing.assert_allclose(v2, dv, atol=1e-6)
+
+
+def test_launch_counts(rng):
+    x = rng.standard_normal((1, 2, 12)).astype(np.float32)
+    b = np.zeros(12, dtype=np.float32)
+    dev = Device()
+    with use_device(dev):
+        tr.qkv_bias_split_heads_fused(x, b, 2)
+    assert dev.launch_count() == 1   # bias+split+transpose in one kernel

@@ -1,0 +1,158 @@
+"""Multi-head attention: fused==naive, masks, gradients, cross-attention."""
+
+import numpy as np
+import pytest
+
+from repro.backend.device import Device, use_device
+from repro.layers.attention import (MultiHeadAttention, causal_mask,
+                                    combine_masks, padding_mask)
+
+from ..conftest import assert_grad_close, numerical_grad
+
+
+def _twins(cfg, is_cross=False, seed=3):
+    """Same-seed fused/naive layers (identical params and dropout streams)."""
+    a = MultiHeadAttention(cfg.with_overrides(fused=True), name="attn",
+                           is_cross=is_cross, seed=seed)
+    b = MultiHeadAttention(cfg.with_overrides(fused=False), name="attn",
+                           is_cross=is_cross, seed=seed)
+    return a, b
+
+
+class TestMasks:
+    def test_padding_mask(self):
+        toks = np.array([[4, 5, 1], [1, 1, 6]])
+        m = padding_mask(toks, padding_idx=1)
+        assert m.shape == (2, 1, 1, 3)
+        assert m[0, 0, 0, 2] < -1e8 and m[0, 0, 0, 0] == 0
+
+    def test_causal_mask(self):
+        m = causal_mask(4)
+        assert m.shape == (1, 1, 4, 4)
+        assert m[0, 0, 0, 1] < -1e8     # can't see the future
+        assert m[0, 0, 3, 0] == 0       # can see the past
+
+    def test_combine(self):
+        assert combine_masks(None, None) is None
+        a, b = causal_mask(3), np.zeros((1, 1, 3, 3), np.float32)
+        np.testing.assert_array_equal(combine_masks(a, b, None), a)
+
+
+class TestSelfAttention:
+    def test_fused_matches_naive(self, tiny_config, rng):
+        f, n = _twins(tiny_config)
+        x = rng.standard_normal((2, 6, 32)).astype(np.float32)
+        mask = causal_mask(6)
+        yf = f.forward(x, mask=mask)
+        yn = n.forward(x, mask=mask)
+        np.testing.assert_allclose(yf, yn, atol=1e-4)
+        dy = rng.standard_normal(yf.shape).astype(np.float32)
+        dxf, _ = f.backward(dy)
+        dxn, _ = n.backward(dy)
+        np.testing.assert_allclose(dxf, dxn, atol=1e-3)
+        for pf, pn in zip(f.parameters(), n.parameters()):
+            np.testing.assert_allclose(pf.grad, pn.grad, atol=1e-3)
+
+    def test_causal_mask_blocks_future(self, tiny_config, rng):
+        layer = MultiHeadAttention(tiny_config, seed=0).eval()
+        x = rng.standard_normal((1, 5, 32)).astype(np.float32)
+        y1 = layer.forward(x, mask=causal_mask(5))
+        x2 = x.copy()
+        x2[0, 4] += 10.0                          # perturb the LAST position
+        y2 = layer.forward(x2, mask=causal_mask(5))
+        np.testing.assert_allclose(y1[0, :4], y2[0, :4], atol=1e-5)
+        assert np.abs(y1[0, 4] - y2[0, 4]).max() > 1e-3
+
+    def test_input_gradient_finite_differences(self, tiny_config, rng):
+        cfg = tiny_config.with_overrides(attn_dropout=0.0, dropout=0.0)
+        layer = MultiHeadAttention(cfg, seed=1)
+        x = rng.standard_normal((1, 4, 32)).astype(np.float32)
+        dy = rng.standard_normal(x.shape).astype(np.float32)
+        layer.forward(x)
+        dx, _ = layer.backward(dy)
+
+        def loss(xv):
+            return float((layer.forward(xv) * dy).sum())
+
+        assert_grad_close(dx, numerical_grad(loss, x))
+
+    def test_param_gradient_finite_differences(self, tiny_config, rng):
+        cfg = tiny_config.with_overrides(attn_dropout=0.0, dropout=0.0,
+                                         hidden_dim=8, nhead=2, ffn_dim=16)
+        layer = MultiHeadAttention(cfg, seed=1)
+        x = rng.standard_normal((1, 3, 8)).astype(np.float32)
+        dy = rng.standard_normal(x.shape).astype(np.float32)
+        layer.forward(x)
+        layer.backward(dy)
+        analytic = layer.w_o.grad.copy()
+
+        def loss(wv):
+            orig = layer.w_o.data.copy()
+            layer.w_o.data[...] = wv
+            out = float((layer.forward(x) * dy).sum())
+            layer.w_o.data[...] = orig
+            return out
+
+        assert_grad_close(analytic, numerical_grad(loss, layer.w_o.data))
+
+    def test_rejects_kv_input(self, tiny_config, rng):
+        layer = MultiHeadAttention(tiny_config, seed=0)
+        x = rng.standard_normal((1, 3, 32)).astype(np.float32)
+        with pytest.raises(ValueError):
+            layer.forward(x, kv=x)
+
+    def test_fused_fewer_launches(self, tiny_config, rng):
+        f, n = _twins(tiny_config)
+        x = rng.standard_normal((2, 4, 32)).astype(np.float32)
+        df, dn = Device(lib="lightseq2"), Device(lib="pytorch")
+        with use_device(df):
+            f.forward(x)
+        with use_device(dn):
+            n.forward(x)
+        assert df.launch_count() < dn.launch_count()
+
+
+class TestCrossAttention:
+    def test_fused_matches_naive(self, tiny_config, rng):
+        f, n = _twins(tiny_config, is_cross=True)
+        x = rng.standard_normal((2, 4, 32)).astype(np.float32)
+        kv = rng.standard_normal((2, 7, 32)).astype(np.float32)
+        yf = f.forward(x, kv=kv)
+        yn = n.forward(x, kv=kv)
+        np.testing.assert_allclose(yf, yn, atol=1e-4)
+        dy = rng.standard_normal(yf.shape).astype(np.float32)
+        dxf, dkvf = f.backward(dy)
+        dxn, dkvn = n.backward(dy)
+        np.testing.assert_allclose(dxf, dxn, atol=1e-3)
+        np.testing.assert_allclose(dkvf, dkvn, atol=1e-3)
+
+    def test_kv_gradient_finite_differences(self, tiny_config, rng):
+        cfg = tiny_config.with_overrides(attn_dropout=0.0, dropout=0.0,
+                                         hidden_dim=8, nhead=2, ffn_dim=16)
+        layer = MultiHeadAttention(cfg, is_cross=True, seed=2)
+        x = rng.standard_normal((1, 2, 8)).astype(np.float32)
+        kv = rng.standard_normal((1, 3, 8)).astype(np.float32)
+        dy = rng.standard_normal(x.shape).astype(np.float32)
+        layer.forward(x, kv=kv)
+        _, dkv = layer.backward(dy)
+
+        def loss(kvv):
+            return float((layer.forward(x, kv=kvv) * dy).sum())
+
+        assert_grad_close(dkv, numerical_grad(loss, kv))
+
+    def test_requires_kv(self, tiny_config, rng):
+        layer = MultiHeadAttention(tiny_config, is_cross=True, seed=0)
+        x = rng.standard_normal((1, 3, 32)).astype(np.float32)
+        with pytest.raises(ValueError):
+            layer.forward(x)
+
+    def test_different_kv_length(self, tiny_config, rng):
+        """Cross attention handles Lq != Lk (the MT case)."""
+        layer = MultiHeadAttention(tiny_config, is_cross=True, seed=0)
+        x = rng.standard_normal((2, 3, 32)).astype(np.float32)
+        kv = rng.standard_normal((2, 9, 32)).astype(np.float32)
+        y = layer.forward(x, kv=kv)
+        assert y.shape == x.shape
+        dx, dkv = layer.backward(np.ones_like(y))
+        assert dx.shape == x.shape and dkv.shape == kv.shape

@@ -1,0 +1,92 @@
+"""Layer/Parameter base machinery."""
+
+import numpy as np
+import pytest
+
+from repro.layers.base import Layer, Parameter
+
+
+class TestParameter:
+    def test_storage_precision(self, rng):
+        v = rng.standard_normal((3, 4)).astype(np.float32)
+        p16 = Parameter("p", v, fp16=True)
+        p32 = Parameter("p", v, fp16=False)
+        assert p16.data.dtype == np.float16
+        assert p32.data.dtype == np.float32
+        assert p16.grad.dtype == np.float16
+        assert p16.shape == (3, 4) and p16.size == 12
+
+    def test_compute_widens(self, rng):
+        p = Parameter("p", rng.standard_normal(4).astype(np.float32),
+                      fp16=True)
+        assert p.compute().dtype == np.float32
+
+    def test_accumulate_grad_shape_check(self, rng):
+        p = Parameter("p", np.zeros((2, 2), np.float32))
+        with pytest.raises(ValueError):
+            p.accumulate_grad(np.zeros(3, np.float32))
+
+    def test_accumulate_adds(self):
+        p = Parameter("p", np.zeros(3, np.float32))
+        p.accumulate_grad(np.ones(3, np.float32))
+        p.accumulate_grad(np.ones(3, np.float32))
+        np.testing.assert_array_equal(p.grad, 2.0)
+        p.zero_grad()
+        assert not p.grad.any()
+
+    def test_link_shape_check(self):
+        p = Parameter("p", np.zeros((2, 3), np.float32))
+        with pytest.raises(ValueError):
+            p.link(np.zeros((3, 2), np.float32),
+                   np.zeros((3, 2), np.float32))
+
+
+class TestLayer:
+    def test_duplicate_param_rejected(self, tiny_config):
+        layer = Layer(tiny_config, name="l")
+        layer.add_param("w", np.zeros(2, np.float32))
+        with pytest.raises(ValueError):
+            layer.add_param("w", np.zeros(2, np.float32))
+
+    def test_duplicate_sublayer_rejected(self, tiny_config):
+        layer = Layer(tiny_config, name="l")
+        layer.add_sublayer("s", Layer(tiny_config, name="s"))
+        with pytest.raises(ValueError):
+            layer.add_sublayer("s", Layer(tiny_config, name="s2"))
+
+    def test_parameters_depth_first_deterministic(self, tiny_config):
+        root = Layer(tiny_config, name="root")
+        root.add_param("a", np.zeros(1, np.float32))
+        child = root.add_sublayer("c", Layer(tiny_config, name="c"))
+        child.add_param("b", np.zeros(2, np.float32))
+        names = [p.name for p in root.parameters()]
+        assert names == ["root.a", "c.b"]
+        assert root.num_parameters() == 3
+
+    def test_train_eval_propagates(self, tiny_config):
+        root = Layer(tiny_config, name="root")
+        child = root.add_sublayer("c", Layer(tiny_config, name="c"))
+        root.eval()
+        assert not child.training
+        assert root.dropout_p == 0.0
+        root.train()
+        assert child.training
+        assert root.dropout_p == tiny_config.dropout
+
+    def test_saved_bookkeeping(self, tiny_config, rng):
+        layer = Layer(tiny_config, name="l")
+        with pytest.raises(RuntimeError, match="backward before forward"):
+            layer.saved("x")
+        x = rng.standard_normal((4, 4)).astype(np.float32)
+        layer.save(x=x)
+        assert layer.saved("x") is x
+        assert layer.saved_nbytes() == x.nbytes
+        layer.clear_saved()
+        assert layer.saved_nbytes() == 0
+
+    def test_same_seed_same_rng_stream(self, tiny_config, rng):
+        a = Layer(tiny_config, name="same", seed=7)
+        b = Layer(tiny_config, name="same", seed=7)
+        np.testing.assert_array_equal(a.rng.random(5), b.rng.random(5))
+        c = Layer(tiny_config, name="other", seed=7)
+        assert not np.array_equal(a.rng.random(5), c.rng.random(5))

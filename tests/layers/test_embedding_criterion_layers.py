@@ -1,0 +1,134 @@
+"""Embedding / criterion / projection layers: gradients, tying, fused twins."""
+
+import numpy as np
+import pytest
+
+from repro.layers.criterion import LSCrossEntropyLayer
+from repro.layers.embedding import LSEmbeddingLayer
+from repro.layers.projection import OutputProjection
+
+from ..conftest import assert_grad_close, numerical_grad
+
+
+class TestEmbeddingLayer:
+    def test_fused_matches_naive(self, tiny_config, rng):
+        f = LSEmbeddingLayer(tiny_config.with_overrides(fused=True),
+                             name="emb", seed=4)
+        n = LSEmbeddingLayer(tiny_config.with_overrides(fused=False),
+                             name="emb", seed=4)
+        toks = rng.integers(4, 101, (3, 7))
+        np.testing.assert_allclose(f.forward(toks), n.forward(toks),
+                                   atol=1e-5)
+        dy = rng.standard_normal((3, 7, 32)).astype(np.float32)
+        f.backward(dy)
+        n.backward(dy)
+        np.testing.assert_allclose(f.table.grad, n.table.grad, atol=1e-4)
+
+    def test_table_gradient_finite_differences(self, tiny_config, rng):
+        cfg = tiny_config.with_overrides(dropout=0.0, hidden_dim=8,
+                                         nhead=2, vocab_size=13)
+        layer = LSEmbeddingLayer(cfg, seed=0)
+        toks = np.array([[4, 5, 4]])          # repeated token on purpose
+        dy = rng.standard_normal((1, 3, 8)).astype(np.float32)
+        layer.forward(toks)
+        layer.backward(dy)
+        analytic = layer.table.grad.astype(np.float32).copy()
+
+        def loss(tv):
+            orig = layer.table.data.copy()
+            layer.table.data[...] = tv
+            out = float((layer.forward(toks) * dy).sum())
+            layer.table.data[...] = orig
+            return out
+
+        assert_grad_close(analytic,
+                          numerical_grad(loss, layer.table.data))
+
+    def test_padding_row_stays_zero(self, tiny_config, rng):
+        layer = LSEmbeddingLayer(tiny_config, seed=0)
+        pad = tiny_config.padding_idx
+        np.testing.assert_array_equal(
+            np.asarray(layer.table.data)[pad], 0.0)
+        toks = np.full((2, 4), pad)
+        y = layer.forward(toks)
+        np.testing.assert_allclose(y, 0.0)
+
+    def test_shared_table(self, tiny_config):
+        a = LSEmbeddingLayer(tiny_config, name="a", seed=0)
+        b = LSEmbeddingLayer(tiny_config, name="b",
+                             shared_table=a.table, seed=1)
+        assert b.table is a.table
+        assert b.num_parameters() == 0        # not re-registered
+
+    def test_shared_table_shape_check(self, tiny_config):
+        a = LSEmbeddingLayer(tiny_config, name="a", seed=0)
+        bad = tiny_config.with_overrides(hidden_dim=64, nhead=4)
+        with pytest.raises(ValueError):
+            LSEmbeddingLayer(bad, name="b", shared_table=a.table)
+
+
+class TestCriterionLayer:
+    def test_loss_and_tokens(self, tiny_config, rng):
+        crit = LSCrossEntropyLayer(tiny_config, seed=0)
+        logits = rng.standard_normal((2, 4, 101)).astype(np.float32)
+        targets = rng.integers(4, 101, (2, 4))
+        targets[0, -1] = tiny_config.padding_idx
+        loss, ntok = crit.forward(logits, targets)
+        assert ntok == 7
+        assert loss > 0
+
+    def test_shape_mismatch(self, tiny_config, rng):
+        crit = LSCrossEntropyLayer(tiny_config, seed=0)
+        with pytest.raises(ValueError):
+            crit.forward(np.zeros((2, 3, 101), np.float32),
+                         np.zeros((2, 4), np.int64))
+
+    def test_backward_grad_scale(self, tiny_config, rng):
+        crit = LSCrossEntropyLayer(tiny_config, seed=0)
+        logits = rng.standard_normal((1, 3, 101)).astype(np.float32)
+        targets = rng.integers(4, 101, (1, 3))
+        crit.forward(logits, targets)
+        g1 = crit.backward(1.0)
+        g2 = crit.backward(0.5)
+        np.testing.assert_allclose(g2, g1 * 0.5, rtol=1e-6)
+
+
+class TestOutputProjection:
+    def test_tied_weight_is_shared(self, tiny_config, rng):
+        emb = LSEmbeddingLayer(tiny_config, seed=0)
+        proj = OutputProjection(tiny_config, tied=emb.table, seed=0)
+        assert proj.weight is emb.table
+        assert proj.tied
+        assert proj.num_parameters() == 0
+
+    def test_tied_gradient_accumulates_both_paths(self, tiny_config, rng):
+        """Shared table receives embedding AND projection gradients."""
+        cfg = tiny_config.with_overrides(dropout=0.0)
+        emb = LSEmbeddingLayer(cfg, seed=0)
+        proj = OutputProjection(cfg, tied=emb.table, seed=0)
+        toks = rng.integers(4, 101, (1, 3))
+        h = emb.forward(toks)
+        logits = proj.forward(h)
+        emb.table.zero_grad()
+        proj.backward(np.ones_like(logits))
+        g_proj_only = emb.table.grad.astype(np.float32).copy()
+        emb.backward(np.ones_like(h))
+        g_both = emb.table.grad.astype(np.float32)
+        assert np.abs(g_proj_only).sum() > 0
+        assert np.abs(g_both).sum() > np.abs(g_proj_only).sum()
+
+    def test_untied_projection(self, tiny_config, rng):
+        proj = OutputProjection(tiny_config, seed=0)
+        assert not proj.tied
+        assert proj.num_parameters() == 101 * 32
+        x = rng.standard_normal((2, 3, 32)).astype(np.float32)
+        logits = proj.forward(x)
+        assert logits.shape == (2, 3, 101)
+        dx = proj.backward(np.ones_like(logits))
+        assert dx.shape == x.shape
+
+    def test_tied_shape_check(self, tiny_config):
+        emb = LSEmbeddingLayer(tiny_config, seed=0)
+        bad = tiny_config.with_overrides(vocab_size=55)
+        with pytest.raises(ValueError):
+            OutputProjection(bad, tied=emb.table)

@@ -1,0 +1,74 @@
+"""FP16 storage mode across layers: twins agree within FP16 tolerance,
+traces carry 2-byte precision, and training stays finite."""
+
+import numpy as np
+import pytest
+
+from repro.backend.device import Device, use_device
+from repro.layers.decoder import LSTransformerDecoderLayer
+from repro.layers.encoder import LSTransformerEncoderLayer
+
+
+@pytest.fixture
+def cfg16(tiny_config):
+    return tiny_config.with_overrides(fp16=True)
+
+
+class TestFp16Encoder:
+    def test_params_stored_half(self, cfg16):
+        layer = LSTransformerEncoderLayer(cfg16, seed=0)
+        for p in layer.parameters():
+            assert p.data.dtype == np.float16, p.name
+            assert p.grad.dtype == np.float16, p.name
+
+    def test_fused_matches_naive_fp16(self, cfg16, rng):
+        f = LSTransformerEncoderLayer(cfg16.with_overrides(fused=True),
+                                      name="L", seed=3)
+        n = LSTransformerEncoderLayer(cfg16.with_overrides(fused=False),
+                                      name="L", seed=3)
+        x = rng.standard_normal((2, 5, 32)).astype(np.float32)
+        yf, yn = f.forward(x), n.forward(x)
+        # storage rounding bounds the divergence
+        np.testing.assert_allclose(yf, yn, atol=3e-2)
+        dy = rng.standard_normal(x.shape).astype(np.float32)
+        np.testing.assert_allclose(f.backward(dy), n.backward(dy),
+                                   atol=5e-2)
+
+    def test_trace_uses_half_precision_bytes(self, cfg16, rng):
+        layer = LSTransformerEncoderLayer(cfg16, seed=0)
+        x = rng.standard_normal((2, 4, 32)).astype(np.float32)
+        dev = Device(lib="lightseq2")
+        with use_device(dev):
+            layer.forward(x)
+        non_gemm = [k for k in dev.launches if not k.is_gemm]
+        assert non_gemm
+        # fp16 layer kernels record 2-byte traffic
+        assert all(k.dtype_bytes == 2 for k in non_gemm)
+        dev32 = Device(lib="lightseq2")
+        layer32 = LSTransformerEncoderLayer(
+            cfg16.with_overrides(fp16=False), seed=0)
+        with use_device(dev32):
+            layer32.forward(x)
+        k16 = dev.total_bytes()
+        k32 = dev32.total_bytes()
+        assert k16 < k32          # half the traffic on the same op graph
+
+    def test_fp16_output_finite_with_large_inputs(self, cfg16, rng):
+        """FP32 compute protects against FP16 intermediate overflow."""
+        layer = LSTransformerEncoderLayer(cfg16, seed=0)
+        x = (rng.standard_normal((2, 4, 32)) * 50).astype(np.float32)
+        y = layer.forward(x)
+        assert np.all(np.isfinite(y))
+
+
+class TestFp16Decoder:
+    def test_forward_backward_finite(self, cfg16, rng):
+        layer = LSTransformerDecoderLayer(cfg16, seed=0)
+        x = rng.standard_normal((2, 4, 32)).astype(np.float32)
+        enc = rng.standard_normal((2, 6, 32)).astype(np.float32)
+        y = layer.forward(x, enc)
+        dx, denc = layer.backward(np.ones_like(y))
+        for t in (y, dx, denc):
+            assert np.all(np.isfinite(t))
+        for p in layer.parameters():
+            assert np.all(np.isfinite(p.grad.astype(np.float32))), p.name

@@ -1,0 +1,80 @@
+"""Property-based tests for the memory planners (hypothesis).
+
+The Fig.-8 planner's safety property — no two live tensors ever alias —
+must hold for *arbitrary* lifetime sets, not just the attention workload.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backend.allocator import (CachingAllocator, TensorSpec,
+                                     plan_offsets, round_block,
+                                     validate_plan)
+
+
+@st.composite
+def tensor_specs(draw):
+    n = draw(st.integers(min_value=1, max_value=12))
+    specs = []
+    for i in range(n):
+        start = draw(st.integers(min_value=0, max_value=20))
+        end = draw(st.integers(min_value=start + 1, max_value=22))
+        nbytes = draw(st.integers(min_value=1, max_value=4096))
+        specs.append(TensorSpec(f"t{i}", nbytes, start, end))
+    return specs
+
+
+@given(tensor_specs())
+@settings(max_examples=200, deadline=None)
+def test_plan_never_aliases_live_tensors(specs):
+    offsets, total = plan_offsets(specs)
+    validate_plan(specs, offsets)           # raises on aliasing
+    assert total <= sum(s.nbytes for s in specs)
+    for s in specs:
+        assert 0 <= offsets[s.name]
+        assert offsets[s.name] + s.nbytes <= total
+
+
+@given(tensor_specs())
+@settings(max_examples=100, deadline=None)
+def test_plan_at_least_peak_live_bytes(specs):
+    """The slab can never be smaller than the max simultaneously-live sum
+    (an information-theoretic lower bound)."""
+    _, total = plan_offsets(specs)
+    times = sorted({s.start for s in specs})
+    peak = max(sum(s.nbytes for s in specs if s.start <= t < s.end)
+               for t in times)
+    assert total >= peak
+
+
+@given(st.integers(min_value=1, max_value=1 << 26))
+@settings(max_examples=200, deadline=None)
+def test_round_block_properties(n):
+    r = round_block(n)
+    assert r >= n
+    assert r % 512 == 0
+    if n >= (1 << 20):
+        assert r % (2 << 20) == 0
+    assert r - n < (2 << 20)
+
+
+@given(st.lists(st.integers(min_value=1, max_value=1 << 22), min_size=1,
+                max_size=40))
+@settings(max_examples=100, deadline=None)
+def test_caching_allocator_invariants(sizes):
+    """Reserved never shrinks; alloc/free pairs leave allocated at zero;
+    replaying the same sequence hits the cache the second time."""
+    a = CachingAllocator()
+    reserved_history = []
+    for _ in range(2):
+        blocks = [a.alloc(s) for s in sizes]
+        reserved_history.append(a.reserved_bytes)
+        for b in blocks:
+            a.free(b)
+    assert a.allocated_bytes == 0
+    # monotone reserve
+    assert reserved_history[0] <= reserved_history[1] or \
+        reserved_history == sorted(reserved_history)
+    # second pass is fully served from cache
+    assert reserved_history[1] == reserved_history[0]

@@ -1,0 +1,58 @@
+"""Property tests: token-budget batching invariants (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.batching import batch_by_tokens, make_mt_batch
+from repro.data.synthetic import SentencePair
+from repro.data.vocab import EOS, PAD
+
+
+@st.composite
+def corpora(draw):
+    n = draw(st.integers(1, 40))
+    max_len = draw(st.integers(4, 24))
+    rng = np.random.default_rng(draw(st.integers(0, 2 ** 31 - 1)))
+    pairs = []
+    for _ in range(n):
+        sl = int(rng.integers(1, max_len))
+        tl = int(rng.integers(1, max_len))
+        pairs.append(SentencePair(
+            source=np.concatenate([rng.integers(4, 50, sl), [EOS]]),
+            target=np.concatenate([rng.integers(4, 50, tl), [EOS]])))
+    budget = draw(st.integers(max_len + 1, 4 * max_len))
+    return pairs, budget
+
+
+@given(corpora(), st.booleans())
+@settings(max_examples=80, deadline=None)
+def test_batching_invariants(data, bucket):
+    pairs, budget = data
+    batches = batch_by_tokens(pairs, budget, bucket=bucket)
+    # every sentence appears exactly once, budget always respected
+    assert sum(b.batch_size for b in batches) == len(pairs)
+    total_tgt = sorted(tuple(p.target) for p in pairs)
+    got_tgt = sorted(
+        tuple(row[row != PAD]) for b in batches for row in b.tgt_output)
+    assert got_tgt == total_tgt
+    for b in batches:
+        assert b.batch_size * b.max_len <= budget
+        # teacher forcing: input row = EOS + output row shifted right
+        for i in range(b.batch_size):
+            out = b.tgt_output[i]
+            n = int((out != PAD).sum())
+            assert b.tgt_input[i, 0] == EOS
+            np.testing.assert_array_equal(b.tgt_input[i, 1:n],
+                                          out[:n - 1])
+
+
+@given(corpora())
+@settings(max_examples=40, deadline=None)
+def test_padding_only_after_content(data):
+    pairs, budget = data
+    for b in batch_by_tokens(pairs, budget):
+        for row in b.src_tokens:
+            nz = np.flatnonzero(row != PAD)
+            if nz.size:
+                assert nz[-1] == nz.size - 1   # contiguous prefix

@@ -1,0 +1,58 @@
+"""Property tests: ring all-reduce correctness and workspace round trips."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backend.workspace import Workspace
+from repro.sim.comm import ring_allreduce
+
+
+@given(st.integers(1, 9), st.integers(1, 200), st.integers(0, 2 ** 31 - 1))
+@settings(max_examples=80, deadline=None)
+def test_ring_allreduce_equals_mean(p, n, seed):
+    rng = np.random.default_rng(seed)
+    bufs = [rng.standard_normal(n).astype(np.float32) for _ in range(p)]
+    expect = np.mean(np.stack(bufs), axis=0)
+    ring_allreduce(bufs)
+    for b in bufs:
+        np.testing.assert_allclose(b, expect, atol=1e-5)
+        np.testing.assert_array_equal(b, bufs[0])   # bitwise agreement
+
+
+@st.composite
+def shape_lists(draw):
+    n = draw(st.integers(1, 8))
+    return [(f"p{i}",
+             tuple(draw(st.lists(st.integers(1, 6), min_size=1,
+                                 max_size=3))))
+            for i in range(n)]
+
+
+@given(shape_lists(), st.integers(0, 2 ** 31 - 1), st.booleans())
+@settings(max_examples=80, deadline=None)
+def test_workspace_roundtrip(shapes, seed, fp16):
+    """load + param_view recovers every tensor (at storage precision), the
+    fragments tile the workspace exactly, and views alias storage."""
+    rng = np.random.default_rng(seed)
+    ws = Workspace(shapes, fp16=fp16)
+    values = {}
+    for name, shape in shapes:
+        v = rng.standard_normal(shape).astype(np.float32)
+        ws.load(name, v)
+        values[name] = v
+    total = sum(int(np.prod(s)) for _, s in shapes)
+    assert ws.total_elems == total
+    seen = np.zeros(total, dtype=bool)
+    for name, shape in shapes:
+        view = ws.param_view(name)
+        assert view.shape == shape
+        assert ws.is_linked(view)
+        np.testing.assert_allclose(
+            view.astype(np.float32), values[name],
+            atol=(2e-3 * (1 + np.abs(values[name]).max()) if fp16 else 0))
+        off = ws.offset_of(name)
+        n = int(np.prod(shape))
+        assert not seen[off:off + n].any()    # fragments never overlap
+        seen[off:off + n] = True
+    assert seen.all()                          # and cover the whole slab

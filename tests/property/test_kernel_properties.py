@@ -1,0 +1,96 @@
+"""Property-based kernel invariants (hypothesis): fused==naive on random
+shapes/values, softmax simplex membership, LayerNorm statistics."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.backend.kernels import criterion as crit
+from repro.backend.kernels import elementwise as ew
+from repro.backend.kernels import layernorm as lnk
+from repro.backend.kernels import softmax as smx
+
+_shapes = st.tuples(st.integers(1, 5), st.integers(1, 6), st.integers(2, 16))
+
+
+def _floats(shape):
+    return hnp.arrays(np.float32, shape,
+                      elements=st.floats(-50, 50, width=32))
+
+
+@given(_shapes.flatmap(_floats))
+@settings(max_examples=60, deadline=None)
+def test_softmax_simplex(x):
+    y = smx.softmax_forward_fused(x)
+    assert np.all(y >= 0)
+    np.testing.assert_allclose(y.sum(-1), 1.0, atol=1e-4)
+    np.testing.assert_allclose(y, smx.softmax_forward_naive(x), atol=1e-5)
+
+
+@given(_shapes.flatmap(_floats), st.integers(0, 2 ** 31 - 1))
+@settings(max_examples=60, deadline=None)
+def test_layernorm_fused_equals_naive(x, seed):
+    h = x.shape[-1]
+    rng = np.random.default_rng(seed)
+    w = (1 + 0.1 * rng.standard_normal(h)).astype(np.float32)
+    b = rng.standard_normal(h).astype(np.float32)
+    y1, mu1, r1 = lnk.layernorm_forward_naive(x, w, b)
+    y2, _, _ = lnk.layernorm_forward_fused(x, w, b)
+    # absolute tolerance scales with |x| (cancellation in E[x^2]-E[x]^2)
+    tol = 1e-3 * max(1.0, float(np.abs(x).max()))
+    np.testing.assert_allclose(y1, y2, atol=tol)
+    dy = rng.standard_normal(x.shape).astype(np.float32)
+    dx1, dw1, db1 = lnk.layernorm_backward_naive(dy, x, w, mu1, r1)
+    dx2, dw2, db2 = lnk.layernorm_backward_fused(dy, x, w, mu1, r1)
+    scale = max(1.0, float(np.abs(dx1).max()))
+    np.testing.assert_allclose(dx1, dx2, atol=1e-3 * scale)
+    np.testing.assert_allclose(db1, db2, atol=1e-3 * max(
+        1.0, float(np.abs(db1).max())))
+
+
+@given(_shapes.flatmap(_floats), st.floats(0.0, 0.9),
+       st.integers(0, 2 ** 31 - 1))
+@settings(max_examples=60, deadline=None)
+def test_dropout_mask_consistency(x, p, seed):
+    """y is exactly x/(1-p) on kept positions and 0 elsewhere, and the
+    backward pass uses the identical mask."""
+    rng = np.random.default_rng(seed)
+    y, mask = ew.dropout_forward_naive(x, p, rng)
+    keep = mask.astype(bool)
+    np.testing.assert_allclose(y[~keep], 0.0)
+    np.testing.assert_allclose(y[keep], x[keep] / (1 - p) if p > 0
+                               else x[keep], rtol=1e-5, atol=1e-6)
+    dx = ew.dropout_backward_naive(np.ones_like(x), mask, p)
+    np.testing.assert_allclose(dx[~keep], 0.0)
+
+
+@given(st.integers(2, 6), st.integers(3, 20), st.floats(0.0, 0.8),
+       st.integers(0, 2 ** 31 - 1))
+@settings(max_examples=60, deadline=None)
+def test_criterion_gradient_sums_to_zero(n, v, alpha, seed):
+    rng = np.random.default_rng(seed)
+    logits = rng.standard_normal((n, v)).astype(np.float32) * 5
+    targets = rng.integers(0, v, n)
+    loss, ntok, q = crit.criterion_forward_fused(logits, targets, alpha)
+    assert loss >= 0 or abs(loss) < 1e-4
+    g = crit.criterion_backward_fused(q, targets, alpha)
+    np.testing.assert_allclose(g.sum(-1), 0.0, atol=1e-4)
+    gn = crit.criterion_backward_naive(q, targets, alpha)
+    np.testing.assert_allclose(g, gn, atol=1e-5)
+
+
+@given(_shapes.flatmap(_floats), st.integers(0, 2 ** 31 - 1))
+@settings(max_examples=40, deadline=None)
+def test_fused_epilogue_equals_naive_chain(x, seed):
+    rng = np.random.default_rng(seed)
+    h = x.shape[-1]
+    bias = rng.standard_normal(h).astype(np.float32)
+    res = rng.standard_normal(x.shape).astype(np.float32)
+    mask = ew.make_dropout_mask(x.shape, 0.3, rng)
+    y_f, _ = ew.bias_dropout_residual_forward(x, bias, res, 0.3, rng,
+                                              mask=mask)
+    zb = ew.bias_add_naive(x, bias)
+    zd, _ = ew.dropout_forward_naive(zb, 0.3, rng, mask=mask)
+    y_n = ew.residual_add_naive(zd, res)
+    np.testing.assert_allclose(y_f, y_n, atol=1e-5)

@@ -1,0 +1,87 @@
+"""Ring all-reduce: correctness of the real data movement + time model."""
+
+import numpy as np
+import pytest
+
+from repro.sim.comm import (DDP_BUCKET_BYTES, bucketed_allreduce_seconds,
+                            parameter_server_seconds, ring_allreduce,
+                            ring_allreduce_seconds)
+from repro.sim.gpu_specs import V100
+
+
+class TestRingAllreduce:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 8])
+    @pytest.mark.parametrize("n", [1, 7, 64, 1000])
+    def test_sum_equals_mean(self, p, n, rng):
+        bufs = [rng.standard_normal(n).astype(np.float32) for _ in range(p)]
+        expect = np.mean(bufs, axis=0)
+        ring_allreduce(bufs, average=True)
+        for b in bufs:
+            np.testing.assert_allclose(b, expect, atol=1e-5)
+
+    def test_all_replicas_bitwise_identical(self, rng):
+        """DDP guarantee: every device ends with the same bits."""
+        bufs = [rng.standard_normal(37).astype(np.float32)
+                for _ in range(5)]
+        ring_allreduce(bufs)
+        for b in bufs[1:]:
+            np.testing.assert_array_equal(b, bufs[0])
+
+    def test_sum_mode(self, rng):
+        bufs = [np.ones(10, dtype=np.float32) for _ in range(4)]
+        ring_allreduce(bufs, average=False)
+        np.testing.assert_allclose(bufs[0], 4.0)
+
+    def test_single_buffer_noop(self):
+        b = np.arange(5, dtype=np.float32)
+        ring_allreduce([b])
+        np.testing.assert_array_equal(b, np.arange(5))
+
+    def test_validations(self):
+        with pytest.raises(ValueError):
+            ring_allreduce([])
+        with pytest.raises(ValueError):
+            ring_allreduce([np.zeros(3, np.float32),
+                            np.zeros(4, np.float32)])
+        with pytest.raises(ValueError):
+            ring_allreduce([np.zeros((2, 2), np.float32)] * 2)
+
+    def test_buffers_smaller_than_world(self, rng):
+        """n < p: some chunks are empty; result must still be right."""
+        bufs = [rng.standard_normal(3).astype(np.float32)
+                for _ in range(8)]
+        expect = np.mean(bufs, axis=0)
+        ring_allreduce(bufs)
+        np.testing.assert_allclose(bufs[0], expect, atol=1e-6)
+
+
+class TestTimeModels:
+    def test_single_gpu_free(self):
+        assert ring_allreduce_seconds(10**9, 1, V100) == 0.0
+        assert bucketed_allreduce_seconds(10**9, 1, V100) == 0.0
+        assert parameter_server_seconds(10**9, 1, V100) == 0.0
+
+    def test_ring_bandwidth_term_scales(self):
+        t1 = ring_allreduce_seconds(10**8, 8, V100)
+        t2 = ring_allreduce_seconds(2 * 10**8, 8, V100)
+        assert t2 > t1
+        # bandwidth-optimal: per-byte cost approaches 2/bw regardless of p
+        t_big = ring_allreduce_seconds(10**9, 8, V100)
+        per_byte = t_big / 10**9
+        assert per_byte == pytest.approx(
+            2 * (7 / 8) / (V100.nvlink_gbs * 1e9), rel=0.05)
+
+    def test_ring_beats_parameter_server(self):
+        for p in (4, 8):
+            assert ring_allreduce_seconds(10**8, p, V100) < \
+                parameter_server_seconds(10**8, p, V100)
+
+    def test_bucketing_adds_latency(self):
+        """Many buckets pay the alpha term repeatedly."""
+        n = 10 * DDP_BUCKET_BYTES
+        bucketed = bucketed_allreduce_seconds(n, 8, V100)
+        single = ring_allreduce_seconds(n, 8, V100)
+        assert bucketed > single
+        # ... but the bandwidth term is identical
+        assert bucketed - single == pytest.approx(
+            9 * 2 * 7 * V100.nvlink_latency_us * 1e-6, rel=0.01)

@@ -1,0 +1,118 @@
+"""Roofline cost model: family classification, monotonicity, GEMM pricing."""
+
+import pytest
+
+from repro.backend.device import Device, KernelLaunch, use_device
+from repro.sim.costmodel import (kernel_family, kernel_time, speedup,
+                                 stage_seconds, tokens_per_second,
+                                 trace_cost)
+from repro.sim.gpu_specs import A100, V100
+
+
+def _k(name="x", er=1000, ew=1000, flops=0, gemm=False, db=4,
+       stage="forward", lib="pytorch"):
+    return KernelLaunch(name, er, ew, flops=flops, is_gemm=gemm,
+                        dtype_bytes=db, stage=stage, lib=lib)
+
+
+class TestFamilyClassification:
+    @pytest.mark.parametrize("name,family", [
+        ("ls_layernorm_fwd", "layernorm"),
+        ("layernorm_var", "layernorm"),
+        ("ls_attn_softmax_bwd", "softmax"),
+        ("dropout_fwd", "dropout"),
+        ("ls_embedding_bwd", "embedding"),
+        ("ls_criterion_fwd", "criterion"),
+        ("nll_gather", "criterion"),
+        ("ls_fused_adam", "optimizer"),
+        ("zero_grad", "optimizer"),
+        ("grad_fp16_to_fp32_copy", "memcpy"),
+        ("transpose_merge_heads", "transpose"),
+        ("bias_add", "elementwise"),
+        ("residual_add", "elementwise"),
+        ("layernorm_param_grad", "layernorm"),
+    ])
+    def test_names(self, name, family):
+        assert kernel_family(name) == family
+
+
+class TestKernelTime:
+    def test_launch_floor(self):
+        """A tiny kernel costs ~launch + host overhead; CUDA-event timing
+        (include_host=False) strips the dispatch tax."""
+        t = kernel_time(_k(er=1, ew=1), V100)
+        assert 1.5e-5 < t < 3e-5
+        t_event = kernel_time(_k(er=1, ew=1), V100, include_host=False)
+        assert 3e-6 < t_event < 6e-6
+
+    def test_bandwidth_bound_scales_linearly(self):
+        # use a flat-efficiency family (layernorm) so time is linear
+        t1 = kernel_time(_k(name="layernorm_x", er=10**7, ew=10**7), V100)
+        t2 = kernel_time(_k(name="layernorm_x", er=2 * 10**7,
+                            ew=2 * 10**7), V100)
+        fixed = kernel_time(_k(name="layernorm_x", er=0, ew=0), V100)
+        assert (t2 - fixed) == pytest.approx(2 * (t1 - fixed), rel=0.01)
+
+    def test_fp16_halves_traffic_time(self):
+        t32 = kernel_time(_k(er=10**7, ew=10**7, db=4), V100)
+        t16 = kernel_time(_k(er=10**7, ew=10**7, db=2), V100)
+        assert t16 < t32
+
+    def test_a100_faster_than_v100(self):
+        k = _k(er=10**7, ew=10**7)
+        assert kernel_time(k, A100) < kernel_time(k, V100)
+
+    def test_gemm_priced_by_flops(self):
+        k = _k(name="gemm", er=10**4, ew=10**4, flops=10**11, gemm=True)
+        t = kernel_time(k, V100)
+        # 1e11 flops at ~<=15.7 TF can't beat 6ms even at full efficiency
+        assert t > 6e-3
+
+    def test_gemm_tensor_core_fp16(self):
+        k32 = _k(name="g", er=10**4, ew=10**4, flops=10**12, gemm=True, db=4)
+        k16 = _k(name="g", er=10**4, ew=10**4, flops=10**12, gemm=True, db=2)
+        assert kernel_time(k16, V100) < kernel_time(k32, V100) / 3
+
+    def test_lightseq_host_overhead_lower(self):
+        kp = _k(er=1, ew=1, lib="pytorch")
+        kl = _k(er=1, ew=1, lib="lightseq2")
+        assert kernel_time(kl, V100) < kernel_time(kp, V100)
+
+
+class TestTraceAggregation:
+    def test_trace_cost_sums(self):
+        trace = [_k(), _k(stage="backward"), _k(gemm=True, flops=100)]
+        c = trace_cost(trace, V100)
+        assert c.launches == 3
+        assert c.total_s == pytest.approx(
+            sum(kernel_time(k, V100) for k in trace))
+        assert c.gemm_s > 0 and c.non_gemm_s > 0
+
+    def test_stage_seconds(self):
+        trace = [_k(stage="forward"), _k(stage="update")]
+        s = stage_seconds(trace, V100)
+        assert s["forward"] > 0 and s["update"] > 0
+        assert s["backward"] == 0
+
+    def test_tokens_per_second(self):
+        trace = [_k()]
+        tps = tokens_per_second(trace, V100, tokens=1000)
+        assert tps > 0
+        slower = tokens_per_second(trace, V100, tokens=1000, extra_s=1.0)
+        assert slower < tps
+
+    def test_speedup_symmetric(self):
+        fast = [_k(er=10, ew=10)]
+        slow = fast * 10
+        assert speedup(slow, fast, V100) > 1
+        assert speedup(fast, slow, V100) < 1
+
+
+@pytest.mark.parametrize("name,family", [
+    ("ls_remove_padding", "memcpy"),
+    ("ls_restore_padding", "memcpy"),
+    ("ls_attn_softmax_dropout_fwd", "softmax"),   # softmax wins over dropout
+    ("ls_bias_tanh_fwd", "elementwise"),
+])
+def test_new_kernel_families(name, family):
+    assert kernel_family(name) == family

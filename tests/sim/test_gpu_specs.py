@@ -1,0 +1,70 @@
+"""GPU spec tables and efficiency curves."""
+
+import pytest
+
+from repro.sim.gpu_specs import (EFFICIENCY, FAMILIES, GPUS,
+                                 HOST_OVERHEAD_US, A100, V100, efficiency,
+                                 gemm_efficiency)
+
+
+class TestSpecs:
+    def test_datasheet_sanity(self):
+        assert V100.mem_bandwidth_gbs == 900.0
+        assert A100.mem_bandwidth_gbs > V100.mem_bandwidth_gbs
+        assert A100.fp16_tflops > V100.fp16_tflops
+        for spec in (V100, A100):
+            assert spec.fp16_tflops > spec.fp32_tflops  # tensor cores
+            assert spec.flops_per_s(True) == spec.fp16_tflops * 1e12
+            assert spec.mem_bandwidth == spec.mem_bandwidth_gbs * 1e9
+
+    def test_registry(self):
+        assert GPUS["V100"] is V100 and GPUS["A100"] is A100
+
+
+class TestEfficiencyCurves:
+    def test_all_lib_family_pairs_defined(self):
+        for lib, table in EFFICIENCY.items():
+            for family in FAMILIES:
+                for n in (100, 10**5, 10**8):
+                    e = efficiency(lib, family, n)
+                    assert 0.0 < e <= 1.0, (lib, family, n)
+
+    def test_unknown_pair_raises(self):
+        with pytest.raises(ValueError):
+            efficiency("jax", "softmax", 100)
+
+    def test_lightseq_beats_pytorch_on_its_kernels(self):
+        for fam in ("layernorm", "softmax", "dropout", "criterion"):
+            for n in (10**4, 10**6, 10**8):
+                assert efficiency("lightseq2", fam, n) > \
+                    efficiency("pytorch", fam, n)
+
+    def test_deepspeed_layernorm_decays_below_pytorch(self):
+        small = efficiency("deepspeed", "layernorm", 10**5)
+        huge = efficiency("deepspeed", "layernorm", 10**8)
+        assert small > efficiency("pytorch", "layernorm", 10**5)
+        assert huge < efficiency("pytorch", "layernorm", 10**8)
+
+    def test_lightseq_softmax_grows(self):
+        xs = [efficiency("lightseq2", "softmax", n)
+              for n in (10**4, 10**6, 10**8)]
+        assert xs[0] < xs[1] < xs[2]
+
+    def test_host_overheads_ordered(self):
+        """The fused extension dispatches cheapest; TF executor costliest."""
+        assert HOST_OVERHEAD_US["lightseq2"] < HOST_OVERHEAD_US["deepspeed"]
+        assert HOST_OVERHEAD_US["deepspeed"] < HOST_OVERHEAD_US["pytorch"]
+        assert HOST_OVERHEAD_US["pytorch"] < HOST_OVERHEAD_US["tensorflow"]
+
+
+class TestGemmEfficiency:
+    def test_monotone_in_flops(self):
+        xs = [gemm_efficiency(n, False) for n in (10**6, 10**9, 10**12)]
+        assert xs[0] < xs[1] < xs[2]
+        assert all(0 < x < 0.9 for x in xs)
+
+    def test_tensor_cores_need_bigger_tiles(self):
+        """At equal FLOPs, FP16 tensor-core utilisation is lower (higher
+        peak to saturate)."""
+        n = 10**10
+        assert gemm_efficiency(n, True) < gemm_efficiency(n, False)

@@ -1,0 +1,116 @@
+"""Step timelines (Fig. 4 machinery) and the Fig. 16/17 run simulator."""
+
+import numpy as np
+import pytest
+
+from repro.backend.device import Device, KernelLaunch, use_device
+from repro.sim.gpu_specs import V100
+from repro.sim.timeline import StepTimeline, format_timeline_table, step_timeline
+from repro.sim.utilization import (StepShape, TrainingRunSimulator,
+                                   scan_max_activation_bytes,
+                                   trace_busy_overhead)
+
+
+def _k(stage, er=1000, lib="pytorch"):
+    return KernelLaunch("k", er, er, stage=stage, lib=lib)
+
+
+class TestTimeline:
+    def test_stages_routed(self):
+        trace = [_k("forward"), _k("backward"), _k("update")]
+        tl = step_timeline(trace, V100)
+        assert tl.forward_s > 0 and tl.backward_s > 0 and tl.update_s > 0
+        assert tl.sync_s == 0
+        assert tl.total_s == pytest.approx(
+            tl.forward_s + tl.backward_s + tl.update_s)
+
+    def test_sync_from_comm_model(self):
+        trace = [_k("forward")]
+        tl1 = step_timeline(trace, V100, grad_bytes=10**8, world_size=1)
+        tl8 = step_timeline(trace, V100, grad_bytes=10**8, world_size=8)
+        assert tl1.sync_s == 0
+        assert tl8.sync_s > 0
+
+    def test_scaled(self):
+        tl = StepTimeline(1.0, 2.0, 0.5, 0.25)
+        half = tl.scaled(0.5)
+        assert half.total_s == pytest.approx(tl.total_s / 2)
+
+    def test_format_table(self):
+        tl = StepTimeline(0.001, 0.002, 0.0, 0.0005)
+        txt = format_timeline_table({"sys": tl})
+        assert "sys" in txt and "total" in txt
+
+
+class TestBusyOverhead:
+    def test_big_kernels_hide_overhead(self):
+        big = [KernelLaunch("k", 10**8, 10**8, lib="lightseq2")]
+        busy, exposed = trace_busy_overhead(big, V100)
+        assert busy > 0 and exposed == 0.0
+
+    def test_tiny_kernels_expose_gaps(self):
+        tiny = [KernelLaunch("k", 10, 10, lib="pytorch")] * 100
+        busy, exposed = trace_busy_overhead(tiny, V100)
+        assert exposed > busy
+
+
+class TestTrainingRunSimulator:
+    def _mk(self, static):
+        return TrainingRunSimulator(
+            spec=V100, permanent_bytes=10**9,
+            act_bytes_fn=lambda b, l: b * l * 1000,
+            busy_s_fn=lambda b, l: 1e-3,
+            overhead_s_fn=lambda b, l: 1e-4,
+            static=static,
+            static_reserve_bytes=256 * 64 * 1000 if static else None)
+
+    def test_static_memory_flat(self):
+        sim = self._mk(static=True)
+        shapes = [StepShape(16, 8), StepShape(64, 64), StepShape(8, 4)]
+        samples = sim.run(shapes)
+        reserved = {s.reserved_bytes for s in samples}
+        assert len(reserved) == 1
+
+    def test_caching_memory_grows_on_longer_batch(self):
+        sim = self._mk(static=False)
+        samples = sim.run([StepShape(16, 8), StepShape(16, 8),
+                           StepShape(64, 64)])
+        assert samples[1].reserved_bytes == samples[0].reserved_bytes
+        assert samples[2].reserved_bytes > samples[1].reserved_bytes
+
+    def test_caching_stall_hits_utilization(self):
+        sim = self._mk(static=False)
+        samples = sim.run([StepShape(16, 8), StepShape(64, 64)])
+        # step 1 grows the pool -> pays a cudaMalloc stall -> lower util
+        assert samples[1].utilization < samples[0].utilization
+
+    def test_static_requires_reserve(self):
+        with pytest.raises(ValueError):
+            TrainingRunSimulator(
+                spec=V100, permanent_bytes=0,
+                act_bytes_fn=lambda b, l: 1, busy_s_fn=lambda b, l: 1,
+                overhead_s_fn=lambda b, l: 0, static=True)
+
+    def test_static_underscan_raises(self):
+        sim = TrainingRunSimulator(
+            spec=V100, permanent_bytes=0,
+            act_bytes_fn=lambda b, l: b * l * 1000,
+            busy_s_fn=lambda b, l: 1e-3,
+            overhead_s_fn=lambda b, l: 0.0,
+            static=True, static_reserve_bytes=10)
+        with pytest.raises(MemoryError):
+            sim.run([StepShape(64, 64)])
+
+    def test_time_accumulates(self):
+        sim = self._mk(static=True)
+        samples = sim.run([StepShape(4, 4)] * 5)
+        times = [s.time_s for s in samples]
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+
+def test_scan_max():
+    shapes = [StepShape(4, 10), StepShape(2, 100), StepShape(64, 2)]
+    got = scan_max_activation_bytes(shapes, lambda b, l: b * l)
+    assert got == 200
+    with pytest.raises(ValueError):
+        scan_max_activation_bytes([], lambda b, l: 1)

@@ -1,0 +1,32 @@
+"""The package's public surface: imports, version, Fig.-10 entry points."""
+
+import repro
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_fig10_exports():
+    for name in ("LSTransformerEncoderLayer", "LSTransformerDecoderLayer",
+                 "LSEmbeddingLayer", "LSCrossEntropyLayer", "LSConfig",
+                 "get_config"):
+        assert hasattr(repro, name), name
+
+
+def test_all_is_accurate():
+    for name in repro.__all__:
+        assert getattr(repro, name, None) is not None, name
+
+
+def test_subpackage_imports():
+    import repro.backend
+    import repro.bench
+    import repro.data
+    import repro.inference
+    import repro.layers
+    import repro.models
+    import repro.precision
+    import repro.sim
+    import repro.tools
+    import repro.training

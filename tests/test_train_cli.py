@@ -1,0 +1,55 @@
+"""The `python -m repro.train` CLI across tasks, precisions, resume."""
+
+import numpy as np
+import pytest
+
+from repro.train import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.task == "mt" and args.trainer == "lightseq"
+        assert not args.fp16 and not args.no_fused
+
+    def test_unknown_task_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--task", "diffusion"])
+
+
+@pytest.mark.parametrize("task", ["mt", "gpt", "bert", "vit"])
+def test_every_task_trains(task, capsys):
+    rc = main(["--task", task, "--steps", "3", "--max-tokens", "128",
+               "--log-interval", "3"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert f"task={task}" in out
+    assert "loss/tok" in out and "tok/s wall" in out
+
+
+def test_fp16_naive_trainer(capsys):
+    rc = main(["--task", "mt", "--steps", "2", "--max-tokens", "128",
+               "--fp16", "--trainer", "naive", "--log-interval", "1"])
+    assert rc == 0
+    assert "fp16=True" in capsys.readouterr().out
+
+
+def test_no_fused_path(capsys):
+    rc = main(["--task", "mt", "--steps", "2", "--max-tokens", "128",
+               "--no-fused", "--log-interval", "1"])
+    assert rc == 0
+    assert "fused=False" in capsys.readouterr().out
+
+
+def test_save_and_resume(tmp_path, capsys):
+    d = str(tmp_path / "ck")
+    assert main(["--task", "mt", "--steps", "2", "--max-tokens", "128",
+                 "--save-dir", d, "--log-interval", "1"]) == 0
+    assert main(["--task", "mt", "--steps", "2", "--max-tokens", "128",
+                 "--save-dir", d, "--resume", "--log-interval", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "resumed from" in out and "at step 2" in out
+
+
+def test_resume_requires_save_dir(capsys):
+    assert main(["--task", "mt", "--steps", "1", "--resume"]) == 2

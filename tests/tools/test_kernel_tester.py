@@ -1,0 +1,97 @@
+"""The §4.3 kernel correctness/speed harness."""
+
+import numpy as np
+import pytest
+
+from repro.backend.kernels import layernorm as lnk
+from repro.backend.kernels import softmax as smx
+from repro.tools import check_kernel, sweep_kernel
+
+
+def _ln_args(shape):
+    def make(rng):
+        return (rng.standard_normal(shape).astype(np.float32),
+                np.ones(shape[-1], np.float32),
+                np.zeros(shape[-1], np.float32))
+    return make
+
+
+class TestCheckKernel:
+    def test_matching_kernels_pass(self):
+        rep = check_kernel(
+            "layernorm_fwd",
+            candidate=lambda x, w, b: lnk.layernorm_forward_fused(x, w, b)[0],
+            reference=lambda x, w, b: lnk.layernorm_forward_naive(x, w, b)[0],
+            make_args=_ln_args((64, 32)), reps=2)
+        assert rep.passed
+        assert rep.max_abs_err < 1e-4
+        assert rep.launches_candidate == 1
+        assert rep.launches_reference == 3
+        assert rep.sim_speedup("V100") > 1.0
+        assert "PASS" in rep.format()
+
+    def test_wrong_kernel_fails(self):
+        rep = check_kernel(
+            "broken",
+            candidate=lambda x, w, b: lnk.layernorm_forward_fused(
+                x, w, b)[0] + 1.0,
+            reference=lambda x, w, b: lnk.layernorm_forward_naive(x, w, b)[0],
+            make_args=_ln_args((16, 8)), reps=1)
+        assert not rep.passed
+        assert rep.max_abs_err >= 1.0
+        assert "FAIL" in rep.format()
+
+    def test_tuple_returns_compared_elementwise(self):
+        rep = check_kernel(
+            "layernorm_full",
+            candidate=lambda x, w, b: lnk.layernorm_forward_fused(x, w, b),
+            reference=lambda x, w, b: lnk.layernorm_forward_naive(x, w, b),
+            make_args=_ln_args((16, 8)), reps=1)
+        assert rep.passed
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            check_kernel(
+                "bad_shape",
+                candidate=lambda x: x[:1],
+                reference=lambda x: x,
+                make_args=lambda rng: (
+                    rng.standard_normal((4, 4)).astype(np.float32),),
+                reps=1)
+
+    def test_return_arity_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            check_kernel(
+                "bad_arity",
+                candidate=lambda x: (x, x),
+                reference=lambda x: x,
+                make_args=lambda rng: (
+                    rng.standard_normal((2, 2)).astype(np.float32),),
+                reps=1)
+
+    def test_wall_times_positive(self):
+        rep = check_kernel(
+            "softmax",
+            candidate=smx.softmax_forward_fused,
+            reference=smx.softmax_forward_naive,
+            make_args=lambda rng: (
+                rng.standard_normal((128, 64)).astype(np.float32),),
+            reps=3)
+        assert rep.wall_us_candidate > 0 and rep.wall_us_reference > 0
+        assert np.isfinite(rep.wall_speedup)
+
+
+class TestSweep:
+    def test_sweep_over_shapes(self):
+        reports = sweep_kernel(
+            "softmax",
+            candidate=smx.softmax_forward_fused,
+            reference=smx.softmax_forward_naive,
+            arg_factories={
+                "small": lambda rng: (
+                    rng.standard_normal((8, 16)).astype(np.float32),),
+                "large": lambda rng: (
+                    rng.standard_normal((256, 256)).astype(np.float32),),
+            }, reps=1)
+        assert set(reports) == {"small", "large"}
+        assert all(r.passed for r in reports.values())
