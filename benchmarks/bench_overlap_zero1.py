@@ -1,0 +1,18 @@
+"""Overlapped bucketed gradient sync + ZeRO-1: assert the headline claims.
+
+Exposed sync time must be strictly lower with overlap at every world size
+>= 2, and ZeRO-1 must cut per-replica optimizer state by (world-1)/world.
+Prints the full result table; run with `-s` to see it, or
+`REPRO_BENCH_SCALE=paper` for the paper's model sizes.
+"""
+
+from repro.bench.figures import overlap_zero1
+
+from conftest import run_and_check
+
+
+def test_overlap_zero1(benchmark, scale, capsys):
+    result = run_and_check(benchmark, overlap_zero1, scale)
+    with capsys.disabled():
+        print()
+        print(result.format())

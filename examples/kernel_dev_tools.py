@@ -13,7 +13,7 @@ import numpy as np
 
 from repro.backend.kernels import layernorm as lnk
 from repro.backend.kernels import softmax as smx
-from repro.tools import check_kernel, sweep_kernel
+from repro.tools import check_kernel, gradcheck, sweep_kernel
 
 
 def main() -> None:
@@ -58,6 +58,33 @@ def main() -> None:
         status = "ok " if r.passed else "BAD"
         print(f"  [{status}] {label:<18} sim {r.sim_speedup('V100'):.2f}x, "
               f"wall {r.wall_speedup:.2f}x")
+
+    # 4. gradcheck: the backward kernel against finite differences of its
+    # own forward — catches analytic bugs the fused-vs-naive comparison
+    # cannot (a shared derivation error passes step 1 but not this)
+    print()
+    grad_report = gradcheck(
+        "layernorm_backward",
+        candidate_fwd=lambda x, w, b: lnk.layernorm_forward_fused(x, w, b)[0],
+        candidate_bwd=lambda dy, x, w, b: lnk.layernorm_backward_fused(
+            dy, x, w, *lnk.layernorm_forward_fused(x, w, b)[1:]),
+        make_args=lambda rng: (rng.standard_normal((3, 4, 8)),
+                               1.0 + 0.1 * rng.standard_normal(8),
+                               0.1 * rng.standard_normal(8)),
+        eps=1e-6, rtol=1e-4, atol=1e-7)
+    print(grad_report.format())
+    assert grad_report.passed
+
+    # 5. and a backward with a dropped term is caught immediately
+    broken_grad = gradcheck(
+        "softmax_backward_broken(missing dot term)",
+        candidate_fwd=smx.softmax_forward_fused,
+        candidate_bwd=lambda dy, x: smx.softmax_forward_fused(x) * dy,
+        make_args=lambda rng: (rng.standard_normal((2, 6)),),
+        eps=1e-6, rtol=1e-4, atol=1e-7)
+    print()
+    print(broken_grad.format())
+    assert not broken_grad.passed
 
 
 if __name__ == "__main__":

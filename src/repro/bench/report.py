@@ -63,6 +63,12 @@ PAPER_EXPECTATIONS: Dict[str, str] = {
     "gpt": "Supplementary (Table 1 capability): decoder-only (GPT) "
            "training accelerates like MT — DeepSpeed cannot run this "
            "workload at all.",
+    "overlap_zero1": "Extension of Fig. 11's sync-cost analysis: bucketed "
+                     "per-bucket all-reduce launched during backward hides "
+                     "most communication (exposed sync strictly drops at "
+                     "every world size), and ZeRO-1 sharding cuts "
+                     "per-replica optimizer state by (world-1)/world while "
+                     "staying bit-identical to the unsharded trainer.",
 }
 
 HEADER = """\

@@ -13,6 +13,7 @@ are accumulated on the layers, ready for the trainer.
 
 from __future__ import annotations
 
+import math
 from typing import Optional, Tuple
 
 import numpy as np
@@ -181,12 +182,14 @@ def activation_bytes(config: LSConfig, batch: int, seq: int) -> int:
 
 
 def parameter_bytes(config: LSConfig, num_params: int, *,
-                    trainer: str) -> int:
+                    trainer: str, world_size: int = 1) -> int:
     """Permanent-memory footprint: params + grads + optimizer state.
 
     ``trainer``: "naive"/"apex" keep FP32 masters and FP32 gradient copies
     (+8 bytes/param) on top of FP16 storage; "lightseq" keeps only the FP16
-    workspaces plus FP32 Adam m/v.
+    workspaces plus FP32 Adam m/v; "zero1" additionally shards the Adam
+    state ``world_size`` ways (ZeRO stage 1), so per-replica m/v shrink by
+    ``(world_size - 1)/world_size``.
     """
     it = itemsize(config.fp16)
     base = 2 * num_params * it       # params + grads at storage precision
@@ -195,6 +198,11 @@ def parameter_bytes(config: LSConfig, num_params: int, *,
         extra = 8 * num_params if config.fp16 else 0   # masters + fp32 grads
     elif trainer == "lightseq":
         extra = 0
+    elif trainer == "zero1":
+        if world_size < 1:
+            raise ValueError("world_size must be >= 1")
+        extra = 0
+        adam_state = 8 * math.ceil(num_params / world_size)
     else:
         raise ValueError(f"unknown trainer {trainer!r}")
     return base + adam_state + extra

@@ -59,6 +59,17 @@ class DynamicLossScaler:
             raise ValueError("init_scale must be positive")
         if scale_factor <= 1:
             raise ValueError("scale_factor must exceed 1")
+        if scale_window < 1:
+            raise ValueError("scale_window must be >= 1")
+        if min_scale <= 0:
+            raise ValueError("min_scale must be positive")
+        if max_scale < min_scale:
+            raise ValueError(f"max_scale {max_scale} below min_scale "
+                             f"{min_scale}")
+        if not min_scale <= init_scale <= max_scale:
+            raise ValueError(
+                f"init_scale {init_scale} outside [{min_scale}, "
+                f"{max_scale}] — the scaler could never return to it")
         self._scale = float(init_scale)
         self.scale_factor = scale_factor
         self.scale_window = scale_window

@@ -4,11 +4,14 @@ training timelines, and memory/utilization time series."""
 from . import comm, costmodel, gpu_specs, timeline, utilization
 from .costmodel import TraceCost, kernel_family, kernel_time, speedup, trace_cost
 from .gpu_specs import A100, GPUS, V100, GPUSpec
-from .timeline import StepTimeline, step_timeline
+from .timeline import (BucketSchedule, StepTimeline, TwoStreamTimeline,
+                       overlap_schedule, step_timeline,
+                       two_stream_step_timeline)
 
 __all__ = [
     "comm", "costmodel", "gpu_specs", "timeline", "utilization",
     "GPUSpec", "V100", "A100", "GPUS",
     "kernel_time", "kernel_family", "trace_cost", "TraceCost", "speedup",
-    "StepTimeline", "step_timeline",
+    "StepTimeline", "step_timeline", "BucketSchedule", "TwoStreamTimeline",
+    "overlap_schedule", "two_stream_step_timeline",
 ]

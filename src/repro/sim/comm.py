@@ -18,7 +18,8 @@ issues, which is why multi-GPU speedups in Fig. 11 sit below single-GPU.
 from __future__ import annotations
 
 import math
-from typing import Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -26,6 +27,63 @@ from .gpu_specs import GPUSpec
 
 #: DDP default bucket size (25 MB), which fairseq/PyTorch DDP uses.
 DDP_BUCKET_BYTES = 25 * 1024 * 1024
+
+
+# ---------------------------------------------------------------------------
+# DDP-style gradient buckets over the contiguous workspace
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GradBucket:
+    """One DDP gradient bucket: a parameter-aligned span of the flat
+    gradient workspace (element offsets, not bytes)."""
+
+    index: int
+    names: Tuple[str, ...]
+    start: int                 # first element (inclusive)
+    stop: int                  # last element (exclusive)
+
+    @property
+    def elems(self) -> int:
+        return self.stop - self.start
+
+    def nbytes(self, itemsize: int) -> int:
+        return self.elems * itemsize
+
+
+def partition_buckets(named_sizes: Sequence[Tuple[str, int]], itemsize: int,
+                      bucket_bytes: int = DDP_BUCKET_BYTES
+                      ) -> List[GradBucket]:
+    """Partition an ordered parameter inventory into DDP-style buckets.
+
+    Parameters are packed greedily in workspace order; a bucket is closed
+    when adding the next parameter would exceed ``bucket_bytes`` (a single
+    parameter larger than the cap gets a bucket of its own).  The result
+    exactly tiles ``[0, total_elems)`` with no overlap, and every parameter
+    lies entirely inside one bucket — properties the hypothesis suite pins.
+    """
+    if itemsize <= 0:
+        raise ValueError(f"itemsize must be positive, got {itemsize}")
+    if bucket_bytes <= 0:
+        raise ValueError(f"bucket_bytes must be positive, got {bucket_bytes}")
+    for name, n in named_sizes:
+        if n <= 0:
+            raise ValueError(f"parameter {name!r} has non-positive size {n}")
+    buckets: List[GradBucket] = []
+    cur_names: List[str] = []
+    cur_start = off = 0
+    for name, n in named_sizes:
+        if cur_names and (off + n - cur_start) * itemsize > bucket_bytes:
+            buckets.append(GradBucket(len(buckets), tuple(cur_names),
+                                      cur_start, off))
+            cur_names, cur_start = [], off
+        cur_names.append(name)
+        off += n
+    if cur_names:
+        buckets.append(GradBucket(len(buckets), tuple(cur_names),
+                                  cur_start, off))
+    return buckets
 
 
 def ring_allreduce(buffers: Sequence[np.ndarray], *, average: bool = True
@@ -80,6 +138,124 @@ def ring_allreduce(buffers: Sequence[np.ndarray], *, average: bool = True
             b *= inv.astype(b.dtype) if b.dtype != np.float32 else inv
 
 
+def shard_bounds(n: int, world_size: int, rank: int) -> Tuple[int, int]:
+    """Element bounds of ``rank``'s ZeRO-1 shard of a length-``n`` buffer.
+
+    Uses the same nearly-equal chunking as :func:`ring_allreduce`, so a
+    ring reduce-scatter hands each rank exactly its shard — and so shards
+    tile ``[0, n)`` with no overlap for any world size.
+    """
+    if world_size < 1:
+        raise ValueError("world_size must be >= 1")
+    if not 0 <= rank < world_size:
+        raise ValueError(f"rank {rank} out of range for world {world_size}")
+    return (round(rank * n / world_size), round((rank + 1) * n / world_size))
+
+
+def ring_reduce_scatter(buffers: Sequence[np.ndarray], *,
+                        average: bool = True) -> List[Tuple[int, int]]:
+    """In-place ring reduce-scatter: phase 1 of :func:`ring_allreduce`.
+
+    After the call, rank ``r``'s buffer holds the fully-reduced (summed or
+    averaged) values in its own shard ``shard_bounds(n, p, r)``; the rest of
+    each buffer contains partial sums and must not be read.  Because the
+    reduction schedule is *identical* to the full ring all-reduce (the
+    all-gather phase only copies), the shard values are bit-identical to
+    what a full all-reduce would have produced — the property the ZeRO-1
+    equivalence tests rely on.
+
+    Returns the per-rank shard bounds.
+    """
+    p = len(buffers)
+    if p == 0:
+        raise ValueError("no buffers to reduce-scatter")
+    n = buffers[0].size
+    for b in buffers:
+        if b.ndim != 1 or b.size != n:
+            raise ValueError("buffers must be equal-length 1-D arrays")
+    bounds = [shard_bounds(n, p, r) for r in range(p)]
+    if p == 1:
+        return bounds
+    chunks = bounds
+    # identical schedule to ring_allreduce's reduce-scatter phase
+    for s in range(p - 1):
+        sends = []
+        for d in range(p):
+            c = (d - s) % p
+            lo, hi = chunks[c]
+            sends.append((d, c, buffers[d][lo:hi].copy()))
+        for d, c, data in sends:
+            dst = (d + 1) % p
+            lo, hi = chunks[c]
+            buffers[dst][lo:hi] += data
+    # after p-1 steps device d owns reduced chunk (d + 1) % p; one final hop
+    # hands rank r its own chunk r (NCCL reduce-scatter semantics)
+    reduced = []
+    for c in range(p):
+        owner = (c - 1) % p
+        lo, hi = chunks[c]
+        reduced.append(buffers[owner][lo:hi].copy())
+    for r in range(p):
+        lo, hi = chunks[r]
+        buffers[r][lo:hi] = reduced[r]
+        if average:
+            inv = np.asarray(1.0 / p, dtype=np.float32)
+            buffers[r][lo:hi] *= (inv.astype(buffers[r].dtype)
+                                  if buffers[r].dtype != np.float32 else inv)
+    return bounds
+
+
+def ring_allgather(buffers: Sequence[np.ndarray]) -> None:
+    """In-place ring all-gather: rank ``r`` contributes its shard
+    ``shard_bounds(n, p, r)``; afterwards every buffer holds all shards
+    (bitwise copies — the ring only moves data, never reduces)."""
+    p = len(buffers)
+    if p == 0:
+        raise ValueError("no buffers to all-gather")
+    n = buffers[0].size
+    for b in buffers:
+        if b.ndim != 1 or b.size != n:
+            raise ValueError("buffers must be equal-length 1-D arrays")
+    if p == 1:
+        return
+    chunks = [shard_bounds(n, p, r) for r in range(p)]
+    # circulate owned chunks: at step s, device d forwards chunk (d - s) % p
+    for s in range(p - 1):
+        sends = []
+        for d in range(p):
+            c = (d - s) % p
+            lo, hi = chunks[c]
+            sends.append((d, c, buffers[d][lo:hi].copy()))
+        for d, c, data in sends:
+            dst = (d + 1) % p
+            lo, hi = chunks[c]
+            buffers[dst][lo:hi] = data
+
+
+def deterministic_allreduce(contributions: Sequence[np.ndarray],
+                            outputs: Sequence[np.ndarray]) -> None:
+    """Order-fixed gradient reduction for cross-world-size golden runs.
+
+    Sums ``contributions`` (one flat FP32 buffer per *micro-batch*, in
+    global micro-batch order) element-wise in float64 and writes the result
+    into every buffer in ``outputs``.  Because the summation order depends
+    only on the global micro-batch count — never on how micro-batches were
+    assigned to replicas — world sizes 1/2/4 produce bit-identical sums,
+    which ring all-reduce (whose chunk association depends on the world
+    size) cannot guarantee.
+    """
+    if not contributions:
+        raise ValueError("no contributions to reduce")
+    n = contributions[0].size
+    for c in contributions:
+        if c.ndim != 1 or c.size != n:
+            raise ValueError("contributions must be equal-length 1-D arrays")
+    stack = np.stack([c.astype(np.float64) for c in contributions])
+    total = np.sum(stack, axis=0, dtype=np.float64).astype(np.float32)
+    for out in outputs:
+        out[...] = total.astype(out.dtype)
+
+
 def ring_allreduce_seconds(nbytes: int, world_size: int,
                            spec: GPUSpec) -> float:
     """Alpha–beta time for ONE ring all-reduce of ``nbytes``."""
@@ -89,6 +265,22 @@ def ring_allreduce_seconds(nbytes: int, world_size: int,
     alpha = spec.nvlink_latency_us * 1e-6
     beta = 1.0 / (spec.nvlink_gbs * 1e9)
     return 2 * (p - 1) * alpha + 2 * (p - 1) / p * nbytes * beta
+
+
+def reduce_scatter_seconds(nbytes: int, world_size: int,
+                           spec: GPUSpec) -> float:
+    """Alpha–beta time for ONE ring reduce-scatter (half an all-reduce)."""
+    if world_size <= 1:
+        return 0.0
+    p = world_size
+    alpha = spec.nvlink_latency_us * 1e-6
+    beta = 1.0 / (spec.nvlink_gbs * 1e9)
+    return (p - 1) * alpha + (p - 1) / p * nbytes * beta
+
+
+def allgather_seconds(nbytes: int, world_size: int, spec: GPUSpec) -> float:
+    """Alpha–beta time for ONE ring all-gather (half an all-reduce)."""
+    return reduce_scatter_seconds(nbytes, world_size, spec)
 
 
 def bucketed_allreduce_seconds(total_bytes: int, world_size: int,

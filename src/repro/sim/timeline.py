@@ -1,17 +1,26 @@
-"""Training-step timeline: the four stages of Fig. 3/4.
+"""Training-step timeline: the four stages of Fig. 3/4, plus the
+two-stream (compute + comm) model for overlapped bucketed gradient sync.
 
 Combines the roofline cost of the forward/backward/update kernel stages
 with the communication model for the sync stage, producing the stacked
 per-stage breakdown of Fig. 4 for any (library, GPU, world-size) setting.
+
+The two-stream extension models what DDP-style overlap actually buys: the
+backward pass runs on the compute stream producing gradients from the last
+parameter backwards, and each bucket's ring all-reduce launches on the comm
+stream as soon as every layer writing into it has finished.  Only the comm
+time that outruns the remaining backward compute is *exposed*; the rest is
+hidden behind it (the Fig.-11 sync overhead, attacked directly).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 from ..backend.device import STAGES, KernelLaunch
-from .comm import bucketed_allreduce_seconds
+from .comm import (GradBucket, bucketed_allreduce_seconds,
+                   ring_allreduce_seconds)
 from .costmodel import stage_seconds
 from .gpu_specs import STEP_SETUP_S, GPUSpec
 
@@ -57,6 +66,136 @@ def step_timeline(trace: Iterable[KernelLaunch], spec: GPUSpec, *,
         forward_s=by.get("forward", 0.0) + step_setup_s,
         backward_s=by.get("backward", 0.0),
         sync_s=sync,
+        update_s=by.get("update", 0.0),
+    )
+
+
+# ---------------------------------------------------------------------------
+# two-stream (compute || comm) overlap model
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BucketSchedule:
+    """One step's bucketed gradient-sync schedule on the comm stream.
+
+    Buckets are listed in *launch* order (reverse workspace order — the
+    order backward produces gradients).  All times are seconds from the
+    start of the backward pass.
+    """
+
+    ready_s: Tuple[float, ...]     # grads for the bucket finish on compute
+    start_s: Tuple[float, ...]     # comm stream picks the bucket up
+    finish_s: Tuple[float, ...]    # bucket's ring all-reduce completes
+    comm_total_s: float            # sum of per-bucket comm times
+    exposed_s: float               # comm time sticking out past backward
+    backward_s: float
+
+    @property
+    def hidden_s(self) -> float:
+        """Comm time overlapped with (hidden behind) backward compute."""
+        return max(0.0, self.comm_total_s - self.exposed_s)
+
+
+def bucket_ready_times(buckets: Sequence[GradBucket],
+                       backward_s: float) -> List[float]:
+    """When each bucket's gradients are complete, in launch order.
+
+    Backward produces gradients in reverse workspace order (output layers
+    first), so bucket ``i`` spanning elements ``[start, stop)`` of ``n`` is
+    ready once the backward fraction ``(n - start) / n`` has run.  Returned
+    in reverse bucket-index order — the launch order.
+    """
+    if not buckets:
+        return []
+    n = max(b.stop for b in buckets)
+    return [backward_s * (n - b.start) / n for b in reversed(buckets)]
+
+
+def overlap_schedule(buckets: Sequence[GradBucket], itemsize: int,
+                     backward_s: float, world_size: int, spec: GPUSpec, *,
+                     overlap: bool = True,
+                     comm_seconds_fn=None) -> BucketSchedule:
+    """Schedule one step's bucketed gradient sync against backward compute.
+
+    With ``overlap`` the comm stream serves buckets FIFO as they become
+    ready; without it every bucket waits for the whole backward pass (the
+    synchronous-DDP baseline), so the entire comm time is exposed.
+    ``comm_seconds_fn(nbytes, world, spec)`` prices one bucket's collective
+    (default: ring all-reduce; pass :func:`reduce_scatter_seconds` for the
+    ZeRO-1 reduce-scatter phase).
+    """
+    if backward_s < 0:
+        raise ValueError("backward_s must be non-negative")
+    price = comm_seconds_fn or ring_allreduce_seconds
+    times = [price(b.nbytes(itemsize), world_size, spec)
+             for b in reversed(buckets)]
+    comm_total = sum(times)
+    if world_size <= 1 or not buckets:
+        return BucketSchedule((), (), (), 0.0, 0.0, backward_s)
+    if overlap:
+        ready = bucket_ready_times(buckets, backward_s)
+    else:
+        ready = [backward_s] * len(buckets)
+    start: List[float] = []
+    finish: List[float] = []
+    t = 0.0
+    for r, dt in zip(ready, times):
+        s = max(r, t)
+        t = s + dt
+        start.append(s)
+        finish.append(t)
+    exposed = max(0.0, finish[-1] - backward_s)
+    return BucketSchedule(tuple(ready), tuple(start), tuple(finish),
+                          comm_total, exposed, backward_s)
+
+
+@dataclass(frozen=True)
+class TwoStreamTimeline:
+    """Per-stage step time with the sync stage split into hidden/exposed."""
+
+    forward_s: float
+    backward_s: float
+    sync_exposed_s: float
+    sync_hidden_s: float
+    update_s: float
+
+    @property
+    def sync_total_s(self) -> float:
+        return self.sync_exposed_s + self.sync_hidden_s
+
+    @property
+    def total_s(self) -> float:
+        """Wall-clock step time: hidden sync costs nothing."""
+        return (self.forward_s + self.backward_s + self.sync_exposed_s
+                + self.update_s)
+
+    def as_step_timeline(self) -> StepTimeline:
+        """Collapse to the four-stage view (sync = exposed time only)."""
+        return StepTimeline(self.forward_s, self.backward_s,
+                            self.sync_exposed_s, self.update_s)
+
+
+def two_stream_step_timeline(trace: Iterable[KernelLaunch], spec: GPUSpec, *,
+                             buckets: Sequence[GradBucket], itemsize: int,
+                             world_size: int = 1, overlap: bool = True,
+                             step_setup_s: float = STEP_SETUP_S
+                             ) -> TwoStreamTimeline:
+    """Build the two-stream timeline from one step's kernel trace.
+
+    Like :func:`step_timeline`, but the gradient sync is scheduled bucket
+    by bucket against the backward stage, splitting it into hidden and
+    exposed components.
+    """
+    by = stage_seconds(trace, spec)
+    backward = by.get("backward", 0.0)
+    sched = overlap_schedule(buckets, itemsize, backward, world_size, spec,
+                             overlap=overlap)
+    return TwoStreamTimeline(
+        forward_s=by.get("forward", 0.0) + step_setup_s,
+        backward_s=backward,
+        sync_exposed_s=sched.exposed_s + by.get("sync", 0.0),
+        sync_hidden_s=sched.hidden_s,
         update_s=by.get("update", 0.0),
     )
 

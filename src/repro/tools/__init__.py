@@ -1,5 +1,7 @@
 """Developer tooling: the §4.3 kernel correctness/speed harness."""
 
-from .kernel_tester import KernelReport, check_kernel, sweep_kernel
+from .kernel_tester import (GradcheckReport, KernelReport, check_kernel,
+                            gradcheck, sweep_kernel)
 
-__all__ = ["KernelReport", "check_kernel", "sweep_kernel"]
+__all__ = ["KernelReport", "check_kernel", "sweep_kernel",
+           "GradcheckReport", "gradcheck"]

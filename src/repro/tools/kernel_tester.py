@@ -159,6 +159,114 @@ def check_kernel(name: str,
         launches_reference=len(dev_r.launches))
 
 
+@dataclass
+class GradcheckReport:
+    """Outcome of one finite-difference gradient check."""
+
+    name: str
+    max_abs_err: float
+    max_rel_err: float
+    worst_input: int          # index (into checked inputs) of the worst error
+    checked_inputs: Tuple[int, ...]
+    passed: bool
+
+    def format(self) -> str:
+        return (f"gradcheck: {self.name} — "
+                f"{'PASS' if self.passed else 'FAIL'}\n"
+                f"  max abs err {self.max_abs_err:.3e}, "
+                f"max rel err {self.max_rel_err:.3e} "
+                f"(worst at input #{self.worst_input})\n"
+                f"  inputs checked: {list(self.checked_inputs)}")
+
+
+def _projection_loss(out, dys) -> float:
+    """L = sum_i <dy_i, y_i> — reduces any output pytree to a scalar whose
+    input gradient is exactly candidate_bwd(dy, ...)'s job to produce."""
+    outs = _as_arrays(out)
+    return float(sum(np.sum(dy * y.astype(np.float64))
+                     for dy, y in zip(dys, outs)))
+
+
+def gradcheck(name: str, candidate_fwd: Callable, candidate_bwd: Callable,
+              make_args: Callable[[np.random.Generator], Tuple], *,
+              eps: float = 1e-6, rtol: float = 1e-4, atol: float = 1e-7,
+              wrt: Sequence[int] = None, seed: int = 0) -> GradcheckReport:
+    """Check a backward kernel against central finite differences.
+
+    ``candidate_fwd(*args)`` returns an array or tuple of arrays;
+    ``candidate_bwd(dy, *args)`` (``dy`` — one float64 cotangent per
+    forward output array, or a single array when there is one output)
+    returns one gradient per *differentiable* input, in input order.
+    Differentiable inputs are the float-dtype ndarrays among ``args``
+    (restrict with ``wrt``, a sequence of argument indices).
+
+    The check projects outputs with a random cotangent,
+    ``L = Σ_i <dy_i, y_i>``, and compares the analytic ``dL/dx`` from the
+    backward kernel against ``(L(x+eps) - L(x-eps)) / 2eps`` per element.
+    Inputs are perturbed in float64 and cast back to their own dtype, so
+    run FP32 inputs with ``eps`` big enough to survive the cast
+    (``eps=1e-3``-ish) or supply float64 inputs.  Pass criterion:
+    ``|analytic - numeric| <= atol + rtol * |numeric|`` everywhere.
+    """
+    rng = np.random.default_rng(seed)
+    args = list(make_args(rng))
+    if wrt is None:
+        wrt = [i for i, a in enumerate(args)
+               if isinstance(a, np.ndarray)
+               and np.issubdtype(a.dtype, np.floating)]
+    wrt = tuple(wrt)
+    if not wrt:
+        raise ValueError(f"{name}: no differentiable inputs to check")
+
+    out0 = candidate_fwd(*args)
+    outs0 = _as_arrays(out0)
+    dys = [rng.standard_normal(y.shape) for y in outs0]
+    dy_arg = dys[0] if len(dys) == 1 else tuple(dys)
+    grads = candidate_bwd(dy_arg, *args)
+    if isinstance(grads, np.ndarray):
+        grads = (grads,)
+    if len(grads) != len(wrt):
+        raise ValueError(
+            f"{name}: backward returned {len(grads)} gradients for "
+            f"{len(wrt)} differentiable inputs {list(wrt)}")
+
+    max_abs = max_rel = 0.0
+    worst = wrt[0]
+    passed = True
+    for g, idx in zip(grads, wrt):
+        x = args[idx]
+        if g.shape != x.shape:
+            raise ValueError(f"{name}: gradient for input #{idx} has shape "
+                             f"{g.shape}, expected {x.shape}")
+        flat64 = x.astype(np.float64).reshape(-1)
+        num = np.empty_like(flat64)
+        for k in range(flat64.size):
+            orig = flat64[k]
+            for sign, store in ((+1, 0), (-1, 1)):
+                flat64[k] = orig + sign * eps
+                args[idx] = flat64.reshape(x.shape).astype(x.dtype)
+                L = _projection_loss(candidate_fwd(*args), dys)
+                if store == 0:
+                    plus = L
+                else:
+                    num[k] = (plus - L) / (2 * eps)
+            flat64[k] = orig
+        args[idx] = x
+        a = g.astype(np.float64).reshape(-1)
+        diff = np.abs(a - num)
+        tol = atol + rtol * np.abs(num)
+        if (diff > tol).any():
+            passed = False
+        this_abs = float(diff.max(initial=0.0))
+        if this_abs >= max_abs:
+            max_abs, worst = this_abs, idx
+        denom = np.maximum(np.abs(num), 1e-8)
+        max_rel = max(max_rel, float((diff / denom).max(initial=0.0)))
+    return GradcheckReport(name=name, max_abs_err=max_abs,
+                           max_rel_err=max_rel, worst_input=worst,
+                           checked_inputs=wrt, passed=passed)
+
+
 def sweep_kernel(name: str, candidate: Callable, reference: Callable,
                  arg_factories: Dict[str, Callable[[np.random.Generator],
                                                    Tuple]],

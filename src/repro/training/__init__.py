@@ -11,12 +11,13 @@ from .serialization import (load_checkpoint, load_model,
 from .optimizers import (ConstantSchedule, InverseSqrtSchedule,
                          LinearDecaySchedule, OptimizerSpec)
 from .trainer import (ApexLikeTrainer, LSFusedTrainer, NaiveMPTrainer,
-                      TrainerBase, make_trainer)
+                      TrainerBase, ZeRO1ShardedTrainer, make_trainer)
 
 __all__ = [
     "OptimizerSpec", "InverseSqrtSchedule", "LinearDecaySchedule",
     "ConstantSchedule", "TrainerBase", "NaiveMPTrainer", "ApexLikeTrainer",
-    "LSFusedTrainer", "make_trainer", "DataParallel", "shard_batch",
+    "LSFusedTrainer", "ZeRO1ShardedTrainer", "make_trainer",
+    "DataParallel", "shard_batch",
     "train_step", "train_epoch", "train_step_accumulated",
     "StepResult", "EpochStats", "CheckpointedLayer",
     "checkpoint_stack", "stack_forward", "stack_backward",

@@ -7,6 +7,21 @@ averaged with the real chunked ring all-reduce from :mod:`repro.sim.comm`,
 and every replica's trainer applies the same update — after which all
 replicas hold identical parameters, which tests assert.
 
+Two orthogonal extensions ride on the contiguous gradient workspace:
+
+* ``overlap_grad_sync`` — the flat gradient buffer is partitioned into
+  parameter-aligned DDP buckets, and each bucket's ring all-reduce is
+  launched (in reverse workspace order, the order backward produces
+  gradients) as soon as its gradients are complete.  Data movement here is
+  per-bucket; the hidden/exposed *time* split comes from
+  :func:`repro.sim.timeline.overlap_schedule` via :meth:`sync_timeline`.
+* ``zero1`` — ZeRO stage-1: gradients are ring reduce-scattered so each
+  replica receives only its shard, the fused Adam update runs on that
+  shard alone (sharded ``m``/``v``), and updated parameters are ring
+  all-gathered.  Because the reduce-scatter shares the all-reduce's exact
+  reduction schedule and the fused update is elementwise, trajectories are
+  bit-identical to the unsharded trainer at the same world size.
+
 The sync *time* for the Fig.-11 experiment comes from the alpha–beta model
 (``bucketed_allreduce_seconds``); the data movement here is for correctness.
 """
@@ -19,12 +34,16 @@ import numpy as np
 
 from ..backend.device import current_device
 from ..layers.base import Layer
-from ..sim.comm import (bucketed_allreduce_seconds,
+from ..sim.comm import (DDP_BUCKET_BYTES, GradBucket, allgather_seconds,
+                        bucketed_allreduce_seconds,
                         compressed_allreduce_seconds,
-                        compressed_ring_allreduce, ring_allreduce)
+                        compressed_ring_allreduce, deterministic_allreduce,
+                        partition_buckets, reduce_scatter_seconds,
+                        ring_allgather, ring_allreduce, ring_reduce_scatter)
 from ..sim.gpu_specs import GPUSpec
+from ..sim.timeline import BucketSchedule, overlap_schedule
 from .optimizers import OptimizerSpec
-from .trainer import TrainerBase, make_trainer
+from .trainer import TrainerBase, ZeRO1ShardedTrainer, make_trainer
 
 
 class DataParallel:
@@ -33,19 +52,46 @@ class DataParallel:
     def __init__(self, model_factory: Callable[[], Layer], world_size: int,
                  trainer_kind: str, spec: OptimizerSpec,
                  scaler_factory: Optional[Callable[[], object]] = None,
-                 compress_gradients: bool = False):
+                 compress_gradients: bool = False,
+                 overlap_grad_sync: bool = False,
+                 bucket_bytes: int = DDP_BUCKET_BYTES,
+                 zero1: bool = False):
         """``compress_gradients``: sync with the int8 error-feedback ring
-        (DeepSpeed-style quantized gradient updates) instead of FP32."""
+        (DeepSpeed-style quantized gradient updates) instead of FP32.
+        ``overlap_grad_sync``: bucket the flat gradient buffer and launch
+        per-bucket all-reduces as backward produces them.  ``zero1``:
+        shard the optimizer ZeRO-1 style (requires the "lightseq"
+        workspace trainer)."""
         if world_size < 1:
             raise ValueError("world_size must be >= 1")
+        if compress_gradients and (overlap_grad_sync or zero1):
+            raise ValueError("compress_gradients cannot combine with "
+                             "overlap_grad_sync or zero1")
+        if zero1 and trainer_kind != "lightseq":
+            raise ValueError("zero1 requires the 'lightseq' workspace "
+                             f"trainer, got {trainer_kind!r}")
         self.world_size = world_size
         self.compress_gradients = compress_gradients
+        self.overlap_grad_sync = overlap_grad_sync
+        self.bucket_bytes = bucket_bytes
+        self.zero1 = zero1
         self.replicas: List[Layer] = [model_factory()
                                       for _ in range(world_size)]
-        self.trainers: List[TrainerBase] = [
-            make_trainer(trainer_kind, m, spec,
-                         scaler_factory() if scaler_factory else None)
-            for m in self.replicas]
+        if zero1:
+            self.trainers: List[TrainerBase] = [
+                make_trainer("zero1", m, spec,
+                             scaler_factory() if scaler_factory else None,
+                             rank=r, world_size=world_size)
+                for r, m in enumerate(self.replicas)]
+        else:
+            self.trainers = [
+                make_trainer(trainer_kind, m, spec,
+                             scaler_factory() if scaler_factory else None)
+                for m in self.replicas]
+        # parameter-aligned DDP buckets over the flat FP32 gradient buffer
+        self.buckets: List[GradBucket] = partition_buckets(
+            [(p.name, p.size) for p in self.replicas[0].parameters()],
+            itemsize=4, bucket_bytes=bucket_bytes)
         self._error_feedback: Optional[List[np.ndarray]] = None
         self._check_replicas_identical()
 
@@ -79,10 +125,14 @@ class DataParallel:
                 off += n
 
     def sync_gradients(self) -> int:
-        """Average gradients across replicas (real ring all-reduce).
+        """Synchronise gradients across replicas (real data movement).
 
-        Returns the number of bytes each replica contributed (for the
-        alpha–beta sync-time model).  Recorded under the "sync" stage.
+        Plain mode: one whole-buffer ring all-reduce.  Overlapped mode:
+        one ring all-reduce per DDP bucket, launched in reverse workspace
+        order (the order backward completes them).  ZeRO-1 mode: a ring
+        reduce-scatter — each replica ends up with only its reduced shard
+        valid.  Returns the number of bytes each replica contributed (for
+        the alpha–beta sync-time model).  Recorded under the "sync" stage.
         """
         dev = current_device()
         with dev.stage_scope("sync"):
@@ -95,15 +145,53 @@ class DataParallel:
                                                 for f in flats]
                     compressed_ring_allreduce(
                         flats, error_feedback=self._error_feedback)
+                    dev.record("allreduce_grads",
+                               flats[0].size * self.world_size,
+                               flats[0].size * self.world_size,
+                               dtype_bytes=1)
+                elif self.zero1:
+                    ring_reduce_scatter(flats, average=True)
+                    dev.record("reduce_scatter_grads",
+                               flats[0].size * self.world_size,
+                               flats[0].size, dtype_bytes=4)
+                elif self.overlap_grad_sync:
+                    for b in reversed(self.buckets):
+                        ring_allreduce([f[b.start:b.stop] for f in flats],
+                                       average=True)
+                        dev.record("allreduce_grad_bucket",
+                                   b.elems * self.world_size,
+                                   b.elems * self.world_size, dtype_bytes=4)
                 else:
                     ring_allreduce(flats, average=True)
+                    dev.record("allreduce_grads",
+                               flats[0].size * self.world_size,
+                               flats[0].size * self.world_size,
+                               dtype_bytes=4)
                 self._unflatten_into(flats)
-            payload_bytes = 1 if self.compress_gradients else 4
-            for f in flats[:1]:
-                dev.record("allreduce_grads", f.size * self.world_size,
-                           f.size * self.world_size,
-                           dtype_bytes=payload_bytes)
+            else:
+                dev.record("allreduce_grads", flats[0].size, flats[0].size,
+                           dtype_bytes=1 if self.compress_gradients else 4)
         return nbytes
+
+    def _allgather_params(self) -> None:
+        """ZeRO-1 phase 3: circulate each rank's updated parameter shard
+        so every replica holds the full updated model (pure copies)."""
+        dev = current_device()
+        with dev.stage_scope("sync"):
+            slabs = [t.workspace.params for t in self.trainers]
+            ring_allgather(slabs)
+            dev.record("allgather_params",
+                       slabs[0].size, slabs[0].size * self.world_size,
+                       dtype_bytes=slabs[0].dtype.itemsize)
+
+    def _global_overflow(self) -> Optional[bool]:
+        """All-reduce of the found-inf flag (ZeRO-1 ranks see only their
+        shard, so the skip decision must be agreed globally, as NCCL's
+        found_inf all-reduce does).  None when no scaler is attached."""
+        if self.trainers[0].scaler is None:
+            return None
+        return any(t.scaler.check_overflow(t._grads())
+                   for t in self.trainers)
 
     def sync_seconds(self, spec: GPUSpec) -> float:
         """Alpha–beta estimate of one step's gradient sync."""
@@ -115,7 +203,37 @@ class DataParallel:
                              for p in self.replicas[0].parameters())
             return compressed_allreduce_seconds(fp32_bytes,
                                                 self.world_size, spec)
-        return bucketed_allreduce_seconds(grad_bytes, self.world_size, spec)
+        if self.zero1:
+            fp32_bytes = sum(4 * p.size
+                             for p in self.replicas[0].parameters())
+            param_bytes = sum(p.data.nbytes
+                              for p in self.replicas[0].parameters())
+            return (reduce_scatter_seconds(fp32_bytes, self.world_size, spec)
+                    + allgather_seconds(param_bytes, self.world_size, spec))
+        return bucketed_allreduce_seconds(grad_bytes, self.world_size, spec,
+                                          bucket_bytes=self.bucket_bytes)
+
+    def sync_timeline(self, spec: GPUSpec, backward_s: float
+                      ) -> BucketSchedule:
+        """Schedule this step's bucketed gradient sync against a backward
+        pass of ``backward_s`` seconds (two-stream overlap model).
+
+        With ``overlap_grad_sync`` buckets launch as their gradients become
+        ready; otherwise they all wait for backward to finish, so the whole
+        comm time is exposed.  ZeRO-1 prices the reduce-scatter phase (the
+        parameter all-gather follows the update and cannot overlap with
+        backward).
+        """
+        fn = reduce_scatter_seconds if self.zero1 else None
+        return overlap_schedule(self.buckets, 4, backward_s,
+                                self.world_size, spec,
+                                overlap=self.overlap_grad_sync,
+                                comm_seconds_fn=fn)
+
+    def optimizer_state_bytes(self) -> int:
+        """Per-replica trainer-owned state (max across ranks — ZeRO-1
+        shards differ by at most one element)."""
+        return max(t.extra_state_bytes() for t in self.trainers)
 
     # -- training step -----------------------------------------------------------
 
@@ -149,8 +267,71 @@ class DataParallel:
         self.sync_gradients()
         gs = (grad_scale_fn(total_tokens) if grad_scale_fn
               else 1.0 / max(total_tokens, 1) * self.world_size)
+        overflow = self._global_overflow() if self.zero1 else None
         for trainer in self.trainers:
-            trainer.step(lr=lr, grad_scale=gs)
+            trainer.step(lr=lr, grad_scale=gs, overflow_override=overflow)
+        if self.zero1:
+            self._allgather_params()
+        return total_loss, total_tokens
+
+    def train_step_microbatched(self, microbatches: Sequence[Tuple], *,
+                                lr: Optional[float] = None,
+                                grad_scale_fn: Optional[
+                                    Callable[[int], float]] = None
+                                ) -> Tuple[float, int]:
+        """One step over P global micro-batches with order-fixed reduction.
+
+        Replica ``r`` runs backward on micro-batches ``[r*k, (r+1)*k)``
+        (``k = P / world_size``), capturing one flat FP32 gradient per
+        micro-batch; the contributions are then summed in float64 in
+        *global micro-batch order* (:func:`deterministic_allreduce`), so
+        the resulting gradient — and hence the parameter trajectory — is
+        bit-identical for every world size dividing P.  This is the
+        harness behind the cross-world golden test; ring all-reduce cannot
+        provide it because its summation association depends on the world
+        size.
+
+        The default grad scale is ``1 / total_tokens`` — deliberately
+        world-size-independent, unlike :meth:`train_step`'s fairseq-style
+        scaling (micro-batch gradients are summed, not averaged).
+        """
+        P = len(microbatches)
+        if P == 0 or P % self.world_size:
+            raise ValueError(f"micro-batch count {P} must be a positive "
+                             f"multiple of world_size {self.world_size}")
+        k = P // self.world_size
+        dev = current_device()
+        total_loss = 0.0
+        total_tokens = 0
+        contributions: List[np.ndarray] = [None] * P  # type: ignore
+        for r, (model, trainer) in enumerate(zip(self.replicas,
+                                                 self.trainers)):
+            for j in range(k):
+                g = r * k + j                 # global micro-batch index
+                trainer.zero_grad()
+                with dev.stage_scope("forward"):
+                    loss, ntok = model.forward(*microbatches[g])
+                with dev.stage_scope("backward"):
+                    model.backward()
+                total_loss += loss
+                total_tokens += ntok
+                contributions[g] = np.concatenate(
+                    [p.grad.astype(np.float32).reshape(-1)
+                     for p in model.parameters()])
+        with dev.stage_scope("sync"):
+            flats = [np.empty_like(contributions[0])
+                     for _ in range(self.world_size)]
+            deterministic_allreduce(contributions, flats)
+            dev.record("deterministic_allreduce", flats[0].size * P,
+                       flats[0].size * self.world_size, dtype_bytes=4)
+        self._unflatten_into(flats)
+        gs = (grad_scale_fn(total_tokens) if grad_scale_fn
+              else 1.0 / max(total_tokens, 1))
+        overflow = self._global_overflow()
+        for trainer in self.trainers:
+            trainer.step(lr=lr, grad_scale=gs, overflow_override=overflow)
+        if self.zero1:
+            self._allgather_params()
         return total_loss, total_tokens
 
     def parameters_in_sync(self, atol: float = 0.0) -> bool:

@@ -62,18 +62,25 @@ class TrainerBase:
     def zero_grad(self) -> None:
         raise NotImplementedError
 
-    def step(self, lr: Optional[float] = None,
-             grad_scale: float = 1.0) -> bool:
+    def step(self, lr: Optional[float] = None, grad_scale: float = 1.0,
+             overflow_override: Optional[bool] = None) -> bool:
         """Run one optimisation step under the "update" stage.
 
         ``grad_scale`` multiplies gradients inside the update kernels —
         callers pass 1/(loss_scale * num_tokens) style normalisation.
+        ``overflow_override`` substitutes a globally-agreed overflow flag
+        for the local check (ZeRO-1 shards see only part of the gradient,
+        so the driver all-reduces the found-inf flag, as DDP does); the
+        scaler's policy still advances on the given flag.
         Returns False if the step was skipped due to FP16 overflow.
         """
         dev = current_device()
         with dev.stage_scope("update"):
             if self.scaler is not None:
-                overflow = self.scaler.check_overflow(self._grads())
+                if overflow_override is None:
+                    overflow = self.scaler.check_overflow(self._grads())
+                else:
+                    overflow = overflow_override
                 self.scaler.update(overflow)
                 if overflow:
                     self.skipped_steps += 1
@@ -251,11 +258,75 @@ class LSFusedTrainer(TrainerBase):
         return 8 * self.workspace.total_elems
 
 
+class ZeRO1ShardedTrainer(LSFusedTrainer):
+    """ZeRO stage-1 over the LightSeq2 workspace: shard the optimizer.
+
+    Each replica owns one contiguous shard of the flat workspace — the
+    ring chunk ``shard_bounds(n, world_size, rank)``, so a ring
+    reduce-scatter deposits exactly this replica's reduced gradient shard
+    in place.  Only the shard's Adam ``m``/``v`` are allocated
+    (``(world_size-1)/world_size`` of the optimizer state is gone), the
+    fused update runs on the shard views only, and the driver all-gathers
+    updated parameters afterwards.
+
+    Because :func:`adam_update_ls_fused` is purely elementwise, updating a
+    slice with sliced state is bitwise identical to slicing the full
+    update — the property test and the cross-world golden test both lean
+    on this.
+    """
+
+    def __init__(self, model: Layer, spec: OptimizerSpec,
+                 scaler: Optional[object] = None, *, rank: int = 0,
+                 world_size: int = 1):
+        if not 0 <= rank < world_size:
+            raise ValueError(f"rank {rank} out of range for world_size "
+                             f"{world_size}")
+        super().__init__(model, spec, scaler)
+        from ..sim.comm import shard_bounds
+        self.rank = rank
+        self.world_size = world_size
+        self.shard = shard_bounds(self.workspace.total_elems, world_size,
+                                  rank)
+        lo, hi = self.shard
+        self.m = np.zeros(hi - lo, dtype=np.float32)
+        self.v = np.zeros(hi - lo, dtype=np.float32)
+
+    def _grads(self) -> Sequence[np.ndarray]:
+        lo, hi = self.shard
+        return [self.workspace.grads[lo:hi]]   # local overflow check: shard
+
+    def _apply(self, lr: float, grad_scale: float) -> None:
+        lo, hi = self.shard
+        params = self.workspace.params[lo:hi]
+        grads = self.workspace.grads[lo:hi]
+        hp = self.spec.adam_hparams(lr)
+        if self.spec.kind == "adam":
+            adam_update_ls_fused(params, grads, self.m, self.v,
+                                 self.step_count, hp, fp16=self.fp16,
+                                 grad_scale=grad_scale)
+        else:
+            g = grads
+            if grad_scale != 1.0:
+                g = (g.astype(np.float32) * grad_scale).astype(g.dtype)
+            sgd_update_ls_fused(params, g, self.m, lr, self.spec.momentum,
+                                self.spec.weight_decay, fp16=self.fp16)
+
+    def extra_state_bytes(self) -> int:
+        """Adam m/v for the owned shard only — the ZeRO-1 saving."""
+        lo, hi = self.shard
+        return 8 * (hi - lo)
+
+
 def make_trainer(kind: str, model: Layer, spec: OptimizerSpec,
-                 scaler: Optional[object] = None) -> TrainerBase:
-    """Factory: "naive" | "apex" | "lightseq"."""
+                 scaler: Optional[object] = None, **kwargs) -> TrainerBase:
+    """Factory: "naive" | "apex" | "lightseq" | "zero1".
+
+    ``zero1`` accepts ``rank``/``world_size`` keyword arguments.
+    """
     cls = {"naive": NaiveMPTrainer, "apex": ApexLikeTrainer,
-           "lightseq": LSFusedTrainer}.get(kind)
+           "lightseq": LSFusedTrainer, "zero1": ZeRO1ShardedTrainer}.get(kind)
     if cls is None:
         raise ValueError(f"unknown trainer kind {kind!r}")
-    return cls(model, spec, scaler)
+    if kwargs and cls is not ZeRO1ShardedTrainer:
+        raise ValueError(f"trainer kind {kind!r} takes no extra arguments")
+    return cls(model, spec, scaler, **kwargs)

@@ -1,0 +1,167 @@
+"""Finite-difference gradcheck for every fused backward kernel.
+
+Unlike the fused-vs-naive equivalence tests, these check each backward
+against *numerical* gradients of its own forward: a shared analytic bug
+in both implementations cannot hide here.  Inputs are float64 so central
+differences with a tiny eps are trustworthy; the embedding kernel casts
+its output to float32, so it runs with a large eps and looser tolerances.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backend.kernels.criterion import (criterion_backward_fused,
+                                             criterion_forward_fused)
+from repro.backend.kernels.elementwise import (bias_act_dropout_backward,
+                                               bias_act_dropout_forward,
+                                               bias_dropout_residual_backward,
+                                               bias_dropout_residual_forward,
+                                               make_dropout_mask)
+from repro.backend.kernels.embedding import (embedding_backward_fused,
+                                             embedding_forward_fused,
+                                             sinusoidal_positions)
+from repro.backend.kernels.layernorm import (layernorm_backward_fused,
+                                             layernorm_forward_fused)
+from repro.backend.kernels.softmax import (softmax_backward_fused,
+                                           softmax_forward_fused)
+from repro.tools import gradcheck
+
+
+def test_gradcheck_layernorm_backward_fused():
+    def fwd(x, w, b):
+        return layernorm_forward_fused(x, w, b)[0]
+
+    def bwd(dy, x, w, b):
+        _, mu, rstd = layernorm_forward_fused(x, w, b)
+        return layernorm_backward_fused(dy, x, w, mu, rstd)
+
+    report = gradcheck(
+        "layernorm_bwd", fwd, bwd,
+        lambda rng: (rng.standard_normal((3, 4, 8)),
+                     1.0 + 0.1 * rng.standard_normal(8),
+                     0.1 * rng.standard_normal(8)),
+        eps=1e-6, rtol=1e-4, atol=1e-7)
+    assert report.passed, report.format()
+
+
+def test_gradcheck_softmax_backward_fused():
+    def bwd(dy, x):
+        return softmax_backward_fused(dy, softmax_forward_fused(x))
+
+    report = gradcheck(
+        "softmax_bwd", softmax_forward_fused, bwd,
+        lambda rng: (rng.standard_normal((3, 5, 7)),),
+        eps=1e-6, rtol=1e-4, atol=1e-7)
+    assert report.passed, report.format()
+
+
+def test_gradcheck_bias_dropout_residual_backward():
+    p = 0.25
+    mask = make_dropout_mask((4, 6, 8), p, np.random.default_rng(11))
+
+    def fwd(x, bias, residual):
+        y, _ = bias_dropout_residual_forward(
+            x, bias, residual, p, np.random.default_rng(0), mask=mask)
+        return y
+
+    def bwd(dy, x, bias, residual):
+        return bias_dropout_residual_backward(dy, mask, p)
+
+    report = gradcheck(
+        "bias_dropout_residual_bwd", fwd, bwd,
+        lambda rng: (rng.standard_normal((4, 6, 8)),
+                     rng.standard_normal(8),
+                     rng.standard_normal((4, 6, 8))),
+        eps=1e-6, rtol=1e-4, atol=1e-7)
+    assert report.passed, report.format()
+
+
+def test_gradcheck_bias_gelu_dropout_backward():
+    p = 0.25
+    mask = make_dropout_mask((3, 5, 8), p, np.random.default_rng(13))
+
+    def fwd(x, bias):
+        y, _, _ = bias_act_dropout_forward(
+            x, bias, p, np.random.default_rng(0), activation="gelu",
+            mask=mask)
+        return y
+
+    def bwd(dy, x, bias):
+        pre = x + bias
+        return bias_act_dropout_backward(dy, mask, pre, p,
+                                         activation="gelu")
+
+    report = gradcheck(
+        "bias_gelu_dropout_bwd", fwd, bwd,
+        lambda rng: (rng.standard_normal((3, 5, 8)),
+                     rng.standard_normal(8)),
+        eps=1e-6, rtol=1e-4, atol=1e-7)
+    assert report.passed, report.format()
+
+
+def test_gradcheck_embedding_backward_fused():
+    # forward casts to float32 and is *linear* in the table, so a big eps
+    # is exact up to the cast; tolerances absorb the float32 rounding
+    vocab, h, p = 11, 4, 0.25
+    tokens = np.array([[1, 3, 5], [7, 2, 0]])
+    pos = sinusoidal_positions(8, h)
+    mask = make_dropout_mask((2, 3, h), p, np.random.default_rng(17))
+    scale = float(np.sqrt(h))
+
+    def fwd(table):
+        y, _ = embedding_forward_fused(tokens, table, pos, scale, p,
+                                       np.random.default_rng(0),
+                                       pad_idx=0, mask=mask)
+        return y
+
+    def bwd(dy, table):
+        return embedding_backward_fused(dy, tokens, mask, scale, p, vocab,
+                                        pad_idx=0)
+
+    report = gradcheck(
+        "embedding_bwd", fwd, bwd,
+        lambda rng: (rng.standard_normal((vocab, h)),),
+        eps=1e-2, rtol=1e-3, atol=1e-4)
+    assert report.passed, report.format()
+
+
+def test_gradcheck_criterion_backward_fused():
+    alpha, ignore = 0.1, -100
+    targets = np.array([2, 5, 0, ignore, 3])
+
+    def fwd(logits):
+        loss, _, _ = criterion_forward_fused(logits, targets, alpha,
+                                             ignore_index=ignore)
+        return np.asarray(loss, dtype=np.float64)
+
+    def bwd(dy, logits):
+        _, _, q = criterion_forward_fused(logits, targets, alpha,
+                                          ignore_index=ignore)
+        return criterion_backward_fused(q, targets, alpha,
+                                        ignore_index=ignore) * dy
+
+    report = gradcheck(
+        "criterion_bwd", fwd, bwd,
+        lambda rng: (rng.standard_normal((5, 7)),),
+        eps=1e-6, rtol=1e-4, atol=1e-7)
+    assert report.passed, report.format()
+
+
+def test_gradcheck_catches_broken_backward():
+    """A softmax backward missing the dot-product term must FAIL."""
+
+    def broken_bwd(dy, x):
+        return softmax_forward_fused(x) * dy     # wrong: dropped -y*dot
+
+    report = gradcheck(
+        "softmax_bwd_broken", softmax_forward_fused, broken_bwd,
+        lambda rng: (rng.standard_normal((2, 6)),),
+        eps=1e-6, rtol=1e-4, atol=1e-7)
+    assert not report.passed
+    assert report.max_abs_err > 1e-3
+
+
+def test_gradcheck_rejects_gradless_signatures():
+    with pytest.raises(ValueError):
+        gradcheck("no_inputs", lambda t: t.astype(np.float64),
+                  lambda dy, t: dy, lambda rng: (np.arange(3),))

@@ -1,0 +1,130 @@
+"""Loss-scaler edge cases: non-finite gradients at the scale floor and
+ceiling, all-zero gradient steps, and constructor boundary validation."""
+
+import numpy as np
+import pytest
+
+from repro.precision.loss_scaler import DynamicLossScaler, StaticLossScaler
+
+
+def _inf_grads():
+    return [np.array([1.0, np.inf], dtype=np.float32)]
+
+
+def _nan_grads():
+    return [np.array([np.nan, 0.0], dtype=np.float32)]
+
+
+class TestScaleFloor:
+    def test_overflow_at_floor_keeps_min_scale(self):
+        s = DynamicLossScaler(init_scale=1.0, min_scale=1.0)
+        for _ in range(5):
+            assert s.check_overflow(_inf_grads())
+            s.update(True)
+            assert s.scale == 1.0          # clamped, never below min_scale
+        assert s.overflows == 5
+
+    def test_backoff_stops_exactly_at_floor(self):
+        s = DynamicLossScaler(init_scale=4.0, scale_factor=2.0,
+                              min_scale=1.0)
+        for expect in (2.0, 1.0, 1.0):
+            s.update(True)
+            assert s.scale == expect
+
+    def test_overflow_resets_growth_progress(self):
+        s = DynamicLossScaler(init_scale=2.0, scale_window=2, min_scale=1.0)
+        s.update(False)
+        s.update(True)                     # back off, good-step count wiped
+        assert s.scale == 1.0
+        s.update(False)
+        assert s.scale == 1.0              # one good step isn't a window
+        s.update(False)
+        assert s.scale == 2.0
+
+
+class TestScaleCeiling:
+    def test_growth_clamps_at_ceiling(self):
+        s = DynamicLossScaler(init_scale=4.0, scale_factor=2.0,
+                              scale_window=1, max_scale=8.0)
+        s.update(False)
+        assert s.scale == 8.0
+        s.update(False)
+        assert s.scale == 8.0              # clamped, never above max_scale
+
+    def test_overflow_at_ceiling_backs_off(self):
+        s = DynamicLossScaler(init_scale=8.0, scale_factor=2.0,
+                              scale_window=1, max_scale=8.0)
+        s.update(True)
+        assert s.scale == 4.0
+        s.update(False)
+        assert s.scale == 8.0
+
+
+class TestAllZeroGradients:
+    """All-zero gradients are finite: a clean step, never a skip."""
+
+    def test_zero_grads_are_not_overflow(self):
+        for s in (DynamicLossScaler(), StaticLossScaler()):
+            assert not s.check_overflow([np.zeros(7, np.float32),
+                                         np.zeros((3, 2), np.float16)])
+            assert s.overflows == 0
+
+    def test_zero_grad_step_counts_toward_growth(self):
+        s = DynamicLossScaler(init_scale=2.0, scale_window=1)
+        s.update(s.check_overflow([np.zeros(4, np.float32)]))
+        assert s.scale == 4.0
+
+    def test_zero_grad_step_is_a_noop_update(self):
+        """A trainer stepping on all-zero gradients must not be skipped —
+        and with Adam's zero moments the parameters stay put."""
+        from repro.config import get_config
+        from repro.models import TransformerModel
+        from repro.training import OptimizerSpec, make_trainer
+
+        cfg = get_config("transformer-base", max_batch_tokens=64,
+                         max_seq_len=8, hidden_dim=16, nhead=2, ffn_dim=32,
+                         vocab_size=40, num_encoder_layers=1,
+                         num_decoder_layers=1, dropout=0.0,
+                         attn_dropout=0.0, fp16=False)
+        model = TransformerModel(cfg, seed=1)
+        trainer = make_trainer("lightseq", model, OptimizerSpec(lr=1e-3),
+                               DynamicLossScaler())
+        trainer.zero_grad()
+        before = trainer.workspace.params.copy()
+        assert trainer.step()               # not skipped
+        assert trainer.skipped_steps == 0
+        np.testing.assert_array_equal(trainer.workspace.params, before)
+
+
+class TestNonFiniteDetection:
+    @pytest.mark.parametrize("grads", [_inf_grads(), _nan_grads()])
+    def test_detects_all_nonfinite_kinds(self, grads):
+        s = DynamicLossScaler(init_scale=2.0)
+        assert s.check_overflow(grads)
+
+    def test_skip_protocol_halves_scale(self):
+        s = DynamicLossScaler(init_scale=4.0)
+        bad = s.check_overflow(_nan_grads())
+        s.update(bad)
+        assert s.scale == 2.0
+
+
+class TestConstructorBoundaries:
+    @pytest.mark.parametrize("kwargs", [
+        dict(init_scale=0.0),
+        dict(init_scale=-2.0),
+        dict(scale_factor=1.0),
+        dict(scale_window=0),
+        dict(min_scale=0.0),
+        dict(min_scale=-1.0),
+        dict(min_scale=8.0, max_scale=4.0, init_scale=8.0),
+        dict(init_scale=0.5, min_scale=1.0),        # below the floor
+        dict(init_scale=2.0 ** 30),                 # above the ceiling
+    ])
+    def test_invalid_configs_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            DynamicLossScaler(**kwargs)
+
+    def test_static_scaler_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            StaticLossScaler(0.0)
