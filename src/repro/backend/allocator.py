@@ -92,6 +92,11 @@ class StaticPlanAllocator:
         self.reserved_bytes = 0
         self._cursor = 0
         self.peak_cursor = 0
+        #: bytes the current batch *wanted*, including requests that did not
+        #: fit — the quantity a dry-run shape scan records so the next
+        #: reservation covers the corpus maximum.
+        self.demand = 0
+        self.peak_demand = 0
 
     def _dev(self) -> Device:
         return self._device if self._device is not None else current_device()
@@ -104,17 +109,30 @@ class StaticPlanAllocator:
         self._dev().record_memory("reserve", self.reserved_bytes,
                                   self.reserved_bytes)
 
-    def alloc(self, nbytes: int) -> Block:
-        """Bump-allocate inside the slab; free is a no-op (reset per batch)."""
+    def try_alloc(self, nbytes: int) -> Optional[Block]:
+        """Bump-allocate inside the slab, or return None if it does not fit.
+
+        Demand is recorded either way, so a scan pass (empty or undersized
+        slab) still measures the batch's true footprint.
+        """
         size = round_block(nbytes)
+        self.demand += size
+        self.peak_demand = max(self.peak_demand, self.demand)
         if self._cursor + size > self.reserved_bytes:
-            raise MemoryError(
-                f"static slab exhausted: need {self._cursor + size} of "
-                f"{self.reserved_bytes} reserved bytes — the corpus scan "
-                f"under-estimated the maximum batch footprint")
+            return None
         blk = Block(nbytes=size, offset=self._cursor)
         self._cursor += size
         self.peak_cursor = max(self.peak_cursor, self._cursor)
+        return blk
+
+    def alloc(self, nbytes: int) -> Block:
+        """Bump-allocate inside the slab; free is a no-op (reset per batch)."""
+        blk = self.try_alloc(nbytes)
+        if blk is None:
+            raise MemoryError(
+                f"static slab exhausted: need {self.demand} of "
+                f"{self.reserved_bytes} reserved bytes — the corpus scan "
+                f"under-estimated the maximum batch footprint")
         return blk
 
     def free(self, block: Block) -> None:
@@ -123,6 +141,7 @@ class StaticPlanAllocator:
     def reset(self) -> None:
         """Rewind the bump cursor at the start of each batch."""
         self._cursor = 0
+        self.demand = 0
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,217 @@
+"""Activation arena — §3.3 made real on the numpy substrate.
+
+:class:`~repro.backend.allocator.StaticPlanAllocator` and
+:func:`~repro.backend.allocator.plan_offsets` model the paper's memory
+manager; this module wires that discipline into *actual execution*: an
+:class:`ActivationArena` owns one byte slab, reserved once at the maximum
+per-step footprint observed during a dry-run shape scan (the paper's corpus
+scan), and every kernel output in a training step is bump-allocated as a
+view into that slab.  After warm-up a step performs **zero** numpy buffer
+allocations for kernel outputs — the churn the PyTorch caching allocator
+pays on every batch (Fig. 16) disappears.
+
+Life cycle::
+
+    arena = ActivationArena()
+    model.set_arena(arena)              # thread the handle through layers
+    for batch in corpus:
+        with arena.step():              # reset cursor, (re-)reserve on growth
+            model.forward_backward(batch)
+
+* **Step 1 is the scan**: the slab does not exist yet, so every request
+  falls back to a fresh allocation (an *arena miss*) while the allocator
+  records the total demand.  ``step()`` then reserves the slab at that
+  maximum before step 2 — all hits from then on.
+* **Re-reservation**: if a later batch is larger than anything scanned, its
+  overflow requests miss (correctness is never compromised) and the slab is
+  re-reserved at the new maximum on the next ``step()`` — the same policy
+  LightSeq2 applies when the corpus scan under-estimates.
+* **Lifetime sharing**: :meth:`request_plan` packs a set of named tensors
+  with known lifetimes via :func:`plan_offsets`, so disjoint-lifetime
+  tensors share slab offsets — the Fig. 8 attention-backward plan, used by
+  :meth:`repro.layers.attention.MultiHeadAttention.backward`.
+
+Kernels reach the arena through :func:`current_arena` (installed by
+``arena.step()``), so even call sites that do not pass ``out=`` explicitly
+are served from the slab.  With no arena installed every request returns a
+fresh buffer and execution is bit-identical — the arena only changes *where*
+outputs live, never what they contain.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .allocator import StaticPlanAllocator, TensorSpec, plan_offsets
+from .device import Device
+from .profiler import count_arena_hit, count_arena_miss
+
+#: per-tensor alignment inside a lifetime-sharing plan block, so dtype views
+#: at plan offsets are always aligned regardless of neighbouring tensors.
+_PLAN_ALIGN = 64
+
+#: a plan entry: (name, shape, dtype, lifetime_start, lifetime_end).
+PlanEntry = Tuple[str, Tuple[int, ...], np.dtype, int, int]
+
+
+def _nbytes(shape: Sequence[int], dtype) -> int:
+    n = 1
+    for s in shape:
+        n *= int(s)
+    return n * np.dtype(dtype).itemsize
+
+
+class ActivationArena:
+    """One pre-reserved slab serving all kernel outputs of a training step."""
+
+    def __init__(self, device: Optional[Device] = None):
+        self._device = device
+        # zero-capacity allocator: every request misses but demand is still
+        # recorded, so the first step doubles as the dry-run shape scan
+        self._alloc = StaticPlanAllocator(device)
+        self._slab: Optional[np.ndarray] = None
+        #: demand carried across steps: next reservation must cover the max.
+        self._peak_demand = 0
+        self._plan_cache: Dict[tuple, Tuple[Dict[str, int], int]] = {}
+        self.steps = 0
+        self.reservations = 0
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        """Currently reserved slab bytes (0 before the first scan step)."""
+        return self._alloc.reserved_bytes
+
+    @property
+    def demand(self) -> int:
+        """Bytes the current step has requested so far (hits + misses)."""
+        return self._alloc.demand
+
+    @property
+    def warmed_up(self) -> bool:
+        """True once a slab exists that covered every scanned step."""
+        return self.capacity > 0 and self.capacity >= self._peak_demand
+
+    # -- reservation / step cycle -------------------------------------------
+
+    def _reserve(self, nbytes: int) -> None:
+        # a re-reservation is a teardown + fresh reserve: the allocator
+        # keeps its one-shot reserve semantics (and records the mem event)
+        self._alloc = StaticPlanAllocator(self._device)
+        self._alloc.reserve(nbytes)
+        self._slab = np.empty(self._alloc.reserved_bytes, dtype=np.uint8)
+        self.reservations += 1
+
+    def begin_step(self) -> None:
+        """Start a step: rewind the bump cursor, re-reserving on growth."""
+        self._peak_demand = max(self._peak_demand, self._alloc.peak_demand)
+        if self._peak_demand > self.capacity:
+            self._reserve(self._peak_demand)
+        self._alloc.reset()
+        self.steps += 1
+
+    @contextmanager
+    def step(self) -> Iterator["ActivationArena"]:
+        """Scope one training step: reset + install as the current arena."""
+        self.begin_step()
+        with use_arena(self):
+            yield self
+
+    def scan(self, step_fn, batches) -> None:
+        """Explicit corpus scan: dry-run ``step_fn`` over representative
+        (maximum-shape) batches so the first real step already hits."""
+        for batch in batches:
+            with self.step():
+                step_fn(batch)
+        self.begin_step()          # fold the scanned demand into the slab
+        self.steps -= 1            # ... without counting an extra step
+
+    # -- allocation ---------------------------------------------------------
+
+    def request(self, shape: Sequence[int], dtype=np.float32) -> np.ndarray:
+        """An output buffer of ``shape``/``dtype`` from the slab.
+
+        Falls back to a fresh allocation (counted as a miss) whenever the
+        slab is absent or exhausted — correctness never depends on the
+        scan having been complete.
+        """
+        shape = tuple(int(s) for s in shape)
+        dtype = np.dtype(dtype)
+        nbytes = _nbytes(shape, dtype)
+        if nbytes == 0:
+            return np.empty(shape, dtype)
+        blk = self._alloc.try_alloc(nbytes)
+        if blk is None:
+            count_arena_miss(nbytes)
+            return np.empty(shape, dtype)
+        count_arena_hit(nbytes)
+        view = self._slab[blk.offset:blk.offset + nbytes]
+        return view.view(dtype).reshape(shape)
+
+    def request_plan(self, entries: Sequence[PlanEntry]) -> Dict[str, np.ndarray]:
+        """Lifetime-shared buffers for a set of named tensors (Fig. 8).
+
+        ``entries`` are ``(name, shape, dtype, start, end)`` with half-open
+        lifetimes in abstract execution steps; tensors whose lifetimes do
+        not overlap share offsets, so the block is smaller than the sum of
+        its tensors.  The caller must honour the declared lifetimes — a
+        tensor's contents are only valid between its producing and last
+        consuming step.
+        """
+        key = tuple((name, tuple(shape), np.dtype(dtype).str, start, end)
+                    for name, shape, dtype, start, end in entries)
+        cached = self._plan_cache.get(key)
+        if cached is None:
+            specs: List[TensorSpec] = []
+            for name, shape, dtype, start, end in entries:
+                nb = _nbytes(shape, dtype)
+                nb = (nb + _PLAN_ALIGN - 1) // _PLAN_ALIGN * _PLAN_ALIGN
+                specs.append(TensorSpec(name, max(nb, _PLAN_ALIGN),
+                                        start, end))
+            cached = plan_offsets(specs)
+            self._plan_cache[key] = cached
+        offsets, total = cached
+        base = self.request((total,), np.uint8)
+        out: Dict[str, np.ndarray] = {}
+        for name, shape, dtype, _start, _end in entries:
+            nb = _nbytes(shape, dtype)
+            off = offsets[name]
+            out[name] = base[off:off + nb].view(np.dtype(dtype)).reshape(shape)
+        return out
+
+
+# ---------------------------------------------------------------------------
+# thread-local current arena (installed by ``arena.step()``)
+# ---------------------------------------------------------------------------
+
+_tls = threading.local()
+
+
+def _stack() -> List[ActivationArena]:
+    st = getattr(_tls, "stack", None)
+    if st is None:
+        st = []
+        _tls.stack = st
+    return st
+
+
+def current_arena() -> Optional[ActivationArena]:
+    """The innermost installed arena, or None (fresh-allocation mode)."""
+    st = _stack()
+    return st[-1] if st else None
+
+
+@contextmanager
+def use_arena(arena: ActivationArena) -> Iterator[ActivationArena]:
+    """Install ``arena`` for the dynamic extent of the block."""
+    st = _stack()
+    st.append(arena)
+    try:
+        yield arena
+    finally:
+        st.pop()

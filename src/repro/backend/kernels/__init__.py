@@ -21,8 +21,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..arena import current_arena
 from ..device import current_device
 from ..dtypes import itemsize
+from ..profiler import count_fresh_alloc
 
 
 def record(name: str, elems_read: int, elems_written: int, *, flops: int = 0,
@@ -41,6 +43,35 @@ def elems(*arrays: np.ndarray) -> int:
     return int(sum(a.size for a in arrays))
 
 
+def out_buffer(out, shape, dtype=np.float32) -> np.ndarray:
+    """Resolve a kernel's output buffer — the §3.3 allocation funnel.
+
+    Priority: an explicit ``out=`` from the caller (e.g. a lifetime-planned
+    slab view), else a bump allocation from the installed
+    :class:`~repro.backend.arena.ActivationArena`, else a fresh numpy
+    buffer counted by the profiler.  Kernels overwrite every element of the
+    returned buffer, so all three sources are bit-identical.
+    """
+    shape = tuple(int(s) for s in shape)
+    dtype = np.dtype(dtype)
+    if out is not None:
+        if out.shape != shape:
+            raise ValueError(
+                f"out buffer shape {out.shape} != kernel output {shape}")
+        if out.dtype != dtype:
+            raise ValueError(
+                f"out buffer dtype {out.dtype} != kernel output {dtype}")
+        return out
+    arena = current_arena()
+    if arena is not None:
+        return arena.request(shape, dtype)
+    n = 1
+    for s in shape:
+        n *= s
+    count_fresh_alloc(n * dtype.itemsize)
+    return np.empty(shape, dtype)
+
+
 from . import (  # noqa: E402  (re-export after helpers they depend on)
     criterion,
     elementwise,
@@ -54,6 +85,6 @@ from . import (  # noqa: E402  (re-export after helpers they depend on)
 )
 
 __all__ = [
-    "record", "elems", "gemm", "elementwise", "layernorm", "softmax",
-    "embedding", "criterion", "transform", "optimizer", "padding",
+    "record", "elems", "out_buffer", "gemm", "elementwise", "layernorm",
+    "softmax", "embedding", "criterion", "transform", "optimizer", "padding",
 ]

@@ -23,6 +23,11 @@ matching fairseq's label_smoothed_cross_entropy with ``reduction='sum'``.
 * fused path: one launch forward (the paper's "modify the last [softmax]
   step with additional logarithmic operations"), one element-wise launch
   backward ("bias adding ... executed in parallel").
+
+The backward's (N, V) logit gradient is the single largest activation in a
+training step, so both backward kernels take an ``out=`` buffer and build
+the gradient in place (subtract, fancy-index subtract, mask+scale) — the
+arena serves it from the slab.
 """
 
 from __future__ import annotations
@@ -31,7 +36,7 @@ from typing import Tuple
 
 import numpy as np
 
-from . import record
+from . import out_buffer, record
 from .softmax import log_softmax_forward_fused, log_softmax_forward_naive
 
 
@@ -43,7 +48,7 @@ def _flatten(logits: np.ndarray, targets: np.ndarray
 
 def criterion_forward_naive(logits: np.ndarray, targets: np.ndarray,
                             alpha: float, *, ignore_index: int = -100,
-                            fp16: bool = False
+                            fp16: bool = False, out_q=None
                             ) -> Tuple[float, int, np.ndarray]:
     """Baseline label-smoothed CE. Returns (loss_sum, n_valid_tokens, q).
 
@@ -51,7 +56,9 @@ def criterion_forward_naive(logits: np.ndarray, targets: np.ndarray,
     """
     x, t = _flatten(logits, targets)
     n, v = x.shape
-    logq, q = log_softmax_forward_naive(x, fp16=fp16)
+    if out_q is not None:
+        out_q = out_q.reshape(x.shape)
+    logq, q = log_softmax_forward_naive(x, fp16=fp16, out_q=out_q)
     valid = t != ignore_index
     safe_t = np.where(valid, t, 0)
     # launch: NLL gather
@@ -71,12 +78,14 @@ def criterion_forward_naive(logits: np.ndarray, targets: np.ndarray,
 def criterion_backward_naive(q: np.ndarray, targets: np.ndarray,
                              alpha: float, *, ignore_index: int = -100,
                              grad_scale: float = 1.0,
-                             fp16: bool = False) -> np.ndarray:
+                             fp16: bool = False, out=None) -> np.ndarray:
     """Baseline backward: 3 launches (smooth subtract, one-hot, mask)."""
     qf, t = _flatten(q, targets)
     n, v = qf.shape
+    dout = out_buffer(out, q.shape, qf.dtype)
+    d = dout.reshape(n, v)
     # launch: q - alpha/V
-    d = qf - np.float32(alpha / v)
+    np.subtract(qf, np.float32(alpha / v), out=d)
     record("ce_smooth_sub", qf.size, d.size, flops=qf.size, fp16=fp16)
     # launch: subtract (1 - alpha) at ground-truth index
     valid = t != ignore_index
@@ -84,20 +93,23 @@ def criterion_backward_naive(q: np.ndarray, targets: np.ndarray,
     d[np.arange(n), safe_t] -= np.float32(1.0 - alpha)
     record("ce_onehot_sub", d.size + n, d.size, flops=n, fp16=fp16)
     # launch: zero padding rows + scale
-    d = np.where(valid[:, None], d, 0.0) * np.float32(grad_scale)
+    np.multiply(np.where(valid[:, None], d, 0.0), np.float32(grad_scale),
+                out=d)
     record("ce_mask_scale", d.size + n, d.size, flops=2 * d.size, fp16=fp16)
-    return d.reshape(q.shape)
+    return dout
 
 
 def criterion_forward_fused(logits: np.ndarray, targets: np.ndarray,
                             alpha: float, *, ignore_index: int = -100,
-                            fp16: bool = False
+                            fp16: bool = False, out_q=None
                             ) -> Tuple[float, int, np.ndarray]:
     """LightSeq2 fused forward: one launch on top of the shared softmax
     reductions. Returns (loss_sum, n_valid_tokens, q)."""
     x, t = _flatten(logits, targets)
     n, v = x.shape
-    logq, q = log_softmax_forward_fused(x, fp16=fp16)
+    if out_q is not None:
+        out_q = out_q.reshape(x.shape)
+    logq, q = log_softmax_forward_fused(x, fp16=fp16, out_q=out_q)
     valid = t != ignore_index
     safe_t = np.where(valid, t, 0)
     nll = -logq[np.arange(n), safe_t]
@@ -112,16 +124,19 @@ def criterion_forward_fused(logits: np.ndarray, targets: np.ndarray,
 def criterion_backward_fused(q: np.ndarray, targets: np.ndarray,
                              alpha: float, *, ignore_index: int = -100,
                              grad_scale: float = 1.0,
-                             fp16: bool = False) -> np.ndarray:
+                             fp16: bool = False, out=None) -> np.ndarray:
     """Fused element-wise backward: dy = q - alpha/V - (1-alpha)*onehot,
     padding masked, loss-scale folded in — one launch."""
     qf, t = _flatten(q, targets)
     n, v = qf.shape
     valid = t != ignore_index
     safe_t = np.where(valid, t, 0)
-    d = qf - np.float32(alpha / v)
+    dout = out_buffer(out, q.shape, qf.dtype)
+    d = dout.reshape(n, v)
+    np.subtract(qf, np.float32(alpha / v), out=d)
     d[np.arange(n), safe_t] -= np.float32(1.0 - alpha)
-    d = np.where(valid[:, None], d, 0.0) * np.float32(grad_scale)
+    np.multiply(np.where(valid[:, None], d, 0.0), np.float32(grad_scale),
+                out=d)
     record("ls_criterion_bwd", qf.size + n, d.size, flops=3 * qf.size,
            fp16=fp16)
-    return d.reshape(q.shape)
+    return dout

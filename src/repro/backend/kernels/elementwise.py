@@ -14,6 +14,14 @@ Dropout follows the standard *inverted* convention: during training
 ``y = x * m / (1-p)`` with ``m ~ Bernoulli(1-p)``; the mask is stored as
 ``uint8`` (1 byte/elem traffic, like the CUDA kernels) and reused verbatim in
 backward so fused and naive paths are bit-identical given the same mask.
+
+With ``p == 0`` dropout is the identity: the kernels neither draw nor
+materialise a mask (``mask`` stays ``None``), skip the multiply-by-one pass,
+and drop the mask term from the traffic accounting.  Multiplying by exactly
+1.0 is a bitwise identity in IEEE arithmetic, so results are unchanged.
+
+All kernels accept ``out*=`` buffers (arena slab views); each output's final
+producing operation writes directly into its buffer.
 """
 
 from __future__ import annotations
@@ -22,7 +30,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from . import record
+from . import out_buffer, record
 
 # ---------------------------------------------------------------------------
 # naive single-op kernels (PyTorch-style: one launch each)
@@ -30,63 +38,91 @@ from . import record
 
 
 def bias_add_naive(x: np.ndarray, bias: np.ndarray, *,
-                   fp16: bool = False) -> np.ndarray:
+                   fp16: bool = False, out=None) -> np.ndarray:
     """One kernel: broadcast bias add over the last dimension."""
-    y = x + bias
+    y = out_buffer(out, x.shape, np.result_type(x, bias))
+    np.add(x, bias, out=y)
     record("bias_add", x.size + bias.size, y.size, flops=y.size, fp16=fp16)
     return y
 
 
-def bias_grad_naive(dy: np.ndarray, *, fp16: bool = False) -> np.ndarray:
+def bias_grad_naive(dy: np.ndarray, *, fp16: bool = False,
+                    out=None) -> np.ndarray:
     """One kernel: reduce dy over all leading dims -> dbias."""
-    db = dy.reshape(-1, dy.shape[-1]).sum(axis=0)
+    db = out_buffer(out, (dy.shape[-1],), dy.dtype)
+    dy.reshape(-1, dy.shape[-1]).sum(axis=0, out=db)
     record("bias_grad", dy.size, db.size, flops=dy.size, fp16=fp16)
     return db
 
 
 def make_dropout_mask(shape: Tuple[int, ...], p: float,
-                      rng: np.random.Generator) -> np.ndarray:
-    """Bernoulli(1-p) keep-mask as uint8 (curand analog, not a launch)."""
+                      rng: np.random.Generator) -> Optional[np.ndarray]:
+    """Bernoulli(1-p) keep-mask as uint8 (curand analog, not a launch).
+
+    ``p == 0`` returns None — dropout is the identity and no mask bytes are
+    materialised or moved (the satellite fix for the old all-ones mask).
+    """
     if not 0.0 <= p < 1.0:
         raise ValueError(f"dropout p must be in [0, 1), got {p}")
     if p == 0.0:
-        return np.ones(shape, dtype=np.uint8)
+        return None
     return (rng.random(shape) >= p).astype(np.uint8)
+
+
+def _mask_traffic(mask: Optional[np.ndarray]) -> int:
+    """uint8 mask read cost in dtype elements (0 when dropout is off)."""
+    return mask.size // 4 + 1 if mask is not None else 0
 
 
 def dropout_forward_naive(x: np.ndarray, p: float, rng: np.random.Generator,
                           *, fp16: bool = False,
-                          mask: Optional[np.ndarray] = None
-                          ) -> Tuple[np.ndarray, np.ndarray]:
-    """One kernel: inverted dropout. Returns (y, mask)."""
+                          mask: Optional[np.ndarray] = None, out=None
+                          ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+    """One kernel: inverted dropout. Returns (y, mask); mask None if p==0."""
     if mask is None:
         mask = make_dropout_mask(x.shape, p, rng)
-    scale = 1.0 / (1.0 - p) if p > 0 else 1.0
-    y = x * (mask * np.float32(scale))
-    record("dropout_fwd", x.size + mask.size // 4 + 1, y.size,
+    if mask is None:
+        y = x if out is None else out_buffer(out, x.shape, x.dtype)
+        if y is not x:
+            np.copyto(y, x)
+    else:
+        scale = 1.0 / (1.0 - p) if p > 0 else 1.0
+        y = out_buffer(out, x.shape, x.dtype)
+        np.multiply(x, mask * np.float32(scale), out=y)
+    record("dropout_fwd", x.size + _mask_traffic(mask), y.size,
            flops=2 * y.size, fp16=fp16)
     return y, mask
 
 
-def dropout_backward_naive(dy: np.ndarray, mask: np.ndarray, p: float, *,
-                           fp16: bool = False) -> np.ndarray:
-    """One kernel: dx = dy * mask / (1-p)."""
-    scale = 1.0 / (1.0 - p) if p > 0 else 1.0
-    dx = dy * (mask * np.float32(scale))
-    record("dropout_bwd", dy.size + mask.size // 4 + 1, dx.size,
+def dropout_backward_naive(dy: np.ndarray, mask: Optional[np.ndarray],
+                           p: float, *, fp16: bool = False,
+                           out=None) -> np.ndarray:
+    """One kernel: dx = dy * mask / (1-p) (identity pass-through if off)."""
+    if mask is None:
+        dx = dy if out is None else out_buffer(out, dy.shape, dy.dtype)
+        if dx is not dy:
+            np.copyto(dx, dy)
+    else:
+        scale = 1.0 / (1.0 - p) if p > 0 else 1.0
+        dx = out_buffer(out, dy.shape, dy.dtype)
+        np.multiply(dy, mask * np.float32(scale), out=dx)
+    record("dropout_bwd", dy.size + _mask_traffic(mask), dx.size,
            flops=2 * dx.size, fp16=fp16)
     return dx
 
 
-def relu_forward_naive(x: np.ndarray, *, fp16: bool = False) -> np.ndarray:
-    y = np.maximum(x, 0.0)
+def relu_forward_naive(x: np.ndarray, *, fp16: bool = False,
+                       out=None) -> np.ndarray:
+    y = out_buffer(out, x.shape, x.dtype)
+    np.maximum(x, 0.0, out=y)
     record("relu_fwd", x.size, y.size, flops=x.size, fp16=fp16)
     return y
 
 
 def relu_backward_naive(dy: np.ndarray, x: np.ndarray, *,
-                        fp16: bool = False) -> np.ndarray:
-    dx = dy * (x > 0.0)
+                        fp16: bool = False, out=None) -> np.ndarray:
+    dx = out_buffer(out, dy.shape, dy.dtype)
+    np.multiply(dy, x > 0.0, out=dx)
     record("relu_bwd", dy.size + x.size, dx.size, flops=2 * dx.size, fp16=fp16)
     return dx
 
@@ -95,71 +131,84 @@ _GELU_C = np.float32(np.sqrt(2.0 / np.pi))
 _GELU_A = np.float32(0.044715)
 
 
-def gelu_forward_naive(x: np.ndarray, *, fp16: bool = False) -> np.ndarray:
+def gelu_forward_naive(x: np.ndarray, *, fp16: bool = False,
+                       out=None) -> np.ndarray:
     """tanh-approximation GeLU (the variant BERT and its CUDA kernels use)."""
     inner = _GELU_C * (x + _GELU_A * x ** 3)
-    y = 0.5 * x * (1.0 + np.tanh(inner))
+    y = out_buffer(out, x.shape, np.result_type(x, _GELU_C))
+    np.multiply(0.5 * x, 1.0 + np.tanh(inner), out=y)
     record("gelu_fwd", x.size, y.size, flops=8 * x.size, fp16=fp16)
     return y
 
 
 def gelu_backward_naive(dy: np.ndarray, x: np.ndarray, *,
-                        fp16: bool = False) -> np.ndarray:
+                        fp16: bool = False, out=None) -> np.ndarray:
     inner = _GELU_C * (x + _GELU_A * x ** 3)
     t = np.tanh(inner)
     dinner = _GELU_C * (1.0 + 3.0 * _GELU_A * x ** 2)
-    dx = dy * (0.5 * (1.0 + t) + 0.5 * x * (1.0 - t ** 2) * dinner)
+    dx = out_buffer(out, dy.shape, np.result_type(dy, t))
+    np.multiply(dy, 0.5 * (1.0 + t) + 0.5 * x * (1.0 - t ** 2) * dinner,
+                out=dx)
     record("gelu_bwd", dy.size + x.size, dx.size, flops=12 * dx.size,
            fp16=fp16)
     return dx
 
 
-def tanh_forward_naive(x: np.ndarray, *, fp16: bool = False) -> np.ndarray:
+def tanh_forward_naive(x: np.ndarray, *, fp16: bool = False,
+                       out=None) -> np.ndarray:
     """One kernel: tanh (BERT pooler activation)."""
-    y = np.tanh(x)
+    y = out_buffer(out, x.shape, x.dtype)
+    np.tanh(x, out=y)
     record("tanh_fwd", x.size, y.size, flops=4 * x.size, fp16=fp16)
     return y
 
 
 def tanh_backward_naive(dy: np.ndarray, y: np.ndarray, *,
-                        fp16: bool = False) -> np.ndarray:
+                        fp16: bool = False, out=None) -> np.ndarray:
     """One kernel: dx = dy * (1 - y^2), using the saved output."""
-    dx = dy * (1.0 - y * y)
+    dx = out_buffer(out, dy.shape, np.result_type(dy, y))
+    np.multiply(dy, 1.0 - y * y, out=dx)
     record("tanh_bwd", dy.size + y.size, dx.size, flops=3 * dx.size,
            fp16=fp16)
     return dx
 
 
 def bias_tanh_forward_fused(x: np.ndarray, bias: np.ndarray, *,
-                            fp16: bool = False) -> np.ndarray:
+                            fp16: bool = False, out=None) -> np.ndarray:
     """Fused ``tanh(x + b)`` in one launch (LS pooler epilogue)."""
-    y = np.tanh(x + bias)
+    y = out_buffer(out, x.shape, np.result_type(x, bias))
+    np.tanh(x + bias, out=y)
     record("ls_bias_tanh_fwd", x.size + bias.size, y.size,
            flops=5 * x.size, fp16=fp16)
     return y
 
 
 def bias_tanh_backward_fused(dy: np.ndarray, y: np.ndarray, *,
-                             fp16: bool = False
+                             fp16: bool = False, out_dx=None, out_dbias=None
                              ) -> Tuple[np.ndarray, np.ndarray]:
     """Fused backward of ``tanh(x + b)``: (dx, dbias) in one launch."""
-    dx = dy * (1.0 - y * y)
-    dbias = dx.reshape(-1, dx.shape[-1]).sum(axis=0)
+    dx = out_buffer(out_dx, dy.shape, np.result_type(dy, y))
+    np.multiply(dy, 1.0 - y * y, out=dx)
+    dbias = out_buffer(out_dbias, (dx.shape[-1],), dx.dtype)
+    dx.reshape(-1, dx.shape[-1]).sum(axis=0, out=dbias)
     record("ls_bias_tanh_bwd", dy.size + y.size, dx.size + dbias.size,
            flops=4 * dx.size, fp16=fp16)
     return dx, dbias
 
 
 def residual_add_naive(x: np.ndarray, residual: np.ndarray, *,
-                       fp16: bool = False) -> np.ndarray:
-    y = x + residual
+                       fp16: bool = False, out=None) -> np.ndarray:
+    y = out_buffer(out, x.shape, np.result_type(x, residual))
+    np.add(x, residual, out=y)
     record("residual_add", x.size + residual.size, y.size, flops=y.size,
            fp16=fp16)
     return y
 
 
-def scale_naive(x: np.ndarray, s: float, *, fp16: bool = False) -> np.ndarray:
-    y = x * np.float32(s)
+def scale_naive(x: np.ndarray, s: float, *, fp16: bool = False,
+                out=None) -> np.ndarray:
+    y = out_buffer(out, x.shape, x.dtype)
+    np.multiply(x, np.float32(s), out=y)
     record("scale", x.size, y.size, flops=x.size, fp16=fp16)
     return y
 
@@ -173,8 +222,9 @@ def bias_dropout_residual_forward(x: np.ndarray, bias: np.ndarray,
                                   residual: np.ndarray, p: float,
                                   rng: np.random.Generator, *,
                                   fp16: bool = False,
-                                  mask: Optional[np.ndarray] = None
-                                  ) -> Tuple[np.ndarray, np.ndarray]:
+                                  mask: Optional[np.ndarray] = None,
+                                  out=None
+                                  ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
     """Fused ``dropout(x + b) + residual`` — the paper's flagship example.
 
     Replaces three naive launches (bias add, dropout, residual) and two
@@ -182,27 +232,41 @@ def bias_dropout_residual_forward(x: np.ndarray, bias: np.ndarray,
     """
     if mask is None:
         mask = make_dropout_mask(x.shape, p, rng)
-    scale = 1.0 / (1.0 - p) if p > 0 else 1.0
-    y = (x + bias) * (mask * np.float32(scale)) + residual
+    y = out_buffer(out, x.shape, np.result_type(x, bias, residual))
+    if mask is None:
+        np.add(x + bias, residual, out=y)
+    else:
+        scale = 1.0 / (1.0 - p) if p > 0 else 1.0
+        np.add((x + bias) * (mask * np.float32(scale)), residual, out=y)
     record("ls_bias_dropout_residual_fwd",
-           x.size + bias.size + residual.size + mask.size // 4 + 1, y.size,
+           x.size + bias.size + residual.size + _mask_traffic(mask), y.size,
            flops=4 * y.size, fp16=fp16)
     return y, mask
 
 
-def bias_dropout_residual_backward(dy: np.ndarray, mask: np.ndarray,
-                                   p: float, *, fp16: bool = False
+def bias_dropout_residual_backward(dy: np.ndarray,
+                                   mask: Optional[np.ndarray],
+                                   p: float, *, fp16: bool = False,
+                                   out_dx=None, out_dbias=None
                                    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Fused backward: returns (dx, dbias, dresidual) in one launch.
 
     ``dresidual`` is ``dy`` itself (no extra traffic on the GPU; here we
-    return the same array, mirroring the in-place reuse of Fig. 8).
+    return the same array, mirroring the in-place reuse of Fig. 8).  With
+    dropout off, ``dx`` is also ``dy`` unless ``out_dx`` forces a copy.
     """
-    scale = 1.0 / (1.0 - p) if p > 0 else 1.0
-    dx = dy * (mask * np.float32(scale))
-    dbias = dx.reshape(-1, dx.shape[-1]).sum(axis=0)
+    if mask is None:
+        dx = dy if out_dx is None else out_buffer(out_dx, dy.shape, dy.dtype)
+        if dx is not dy:
+            np.copyto(dx, dy)
+    else:
+        scale = 1.0 / (1.0 - p) if p > 0 else 1.0
+        dx = out_buffer(out_dx, dy.shape, dy.dtype)
+        np.multiply(dy, mask * np.float32(scale), out=dx)
+    dbias = out_buffer(out_dbias, (dx.shape[-1],), dx.dtype)
+    dx.reshape(-1, dx.shape[-1]).sum(axis=0, out=dbias)
     record("ls_bias_dropout_residual_bwd",
-           dy.size + mask.size // 4 + 1, dx.size + dbias.size,
+           dy.size + _mask_traffic(mask), dx.size + dbias.size,
            flops=3 * dx.size, fp16=fp16)
     return dx, dbias, dy
 
@@ -210,14 +274,18 @@ def bias_dropout_residual_backward(dy: np.ndarray, mask: np.ndarray,
 def bias_act_dropout_forward(x: np.ndarray, bias: np.ndarray, p: float,
                              rng: np.random.Generator, *,
                              activation: str = "relu", fp16: bool = False,
-                             mask: Optional[np.ndarray] = None
-                             ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+                             mask: Optional[np.ndarray] = None,
+                             out=None, out_pre=None
+                             ) -> Tuple[np.ndarray, Optional[np.ndarray],
+                                        np.ndarray]:
     """Fused FFN inner chain: ``dropout(act(x + b))`` in one launch.
 
     Returns ``(y, mask, pre_act)`` — ``pre_act = x + b`` is saved for
-    backward, as the CUDA kernel does.
+    backward, as the CUDA kernel does.  ``mask`` is None when ``p == 0``
+    (no all-ones mask is materialised).
     """
-    pre = x + bias
+    pre = out_buffer(out_pre, x.shape, np.result_type(x, bias))
+    np.add(x, bias, out=pre)
     if activation == "relu":
         a = np.maximum(pre, 0.0)
     elif activation == "gelu":
@@ -227,47 +295,62 @@ def bias_act_dropout_forward(x: np.ndarray, bias: np.ndarray, p: float,
         raise ValueError(f"unknown activation {activation!r}")
     if mask is None:
         mask = make_dropout_mask(x.shape, p, rng)
-    scale = 1.0 / (1.0 - p) if p > 0 else 1.0
-    y = a * (mask * np.float32(scale))
+    y = out_buffer(out, x.shape, a.dtype)
+    if mask is None:
+        np.copyto(y, a)
+    else:
+        scale = 1.0 / (1.0 - p) if p > 0 else 1.0
+        np.multiply(a, mask * np.float32(scale), out=y)
     record("ls_bias_act_dropout_fwd",
-           x.size + bias.size + mask.size // 4 + 1, y.size + pre.size,
+           x.size + bias.size + _mask_traffic(mask), y.size + pre.size,
            flops=10 * y.size, fp16=fp16)
     return y, mask, pre
 
 
-def bias_act_dropout_backward(dy: np.ndarray, mask: np.ndarray,
+def bias_act_dropout_backward(dy: np.ndarray, mask: Optional[np.ndarray],
                               pre_act: np.ndarray, p: float, *,
-                              activation: str = "relu", fp16: bool = False
+                              activation: str = "relu", fp16: bool = False,
+                              out_dx=None, out_dbias=None
                               ) -> Tuple[np.ndarray, np.ndarray]:
     """Fused backward of ``dropout(act(x + b))``: (dx, dbias), one launch."""
-    scale = 1.0 / (1.0 - p) if p > 0 else 1.0
-    da = dy * (mask * np.float32(scale))
+    if mask is None:
+        da = dy
+    else:
+        scale = 1.0 / (1.0 - p) if p > 0 else 1.0
+        da = dy * (mask * np.float32(scale))
+    dx = out_buffer(out_dx, dy.shape, np.result_type(da, pre_act))
     if activation == "relu":
-        dx = da * (pre_act > 0.0)
+        np.multiply(da, pre_act > 0.0, out=dx)
     elif activation == "gelu":
         inner = _GELU_C * (pre_act + _GELU_A * pre_act ** 3)
         t = np.tanh(inner)
         dinner = _GELU_C * (1.0 + 3.0 * _GELU_A * pre_act ** 2)
-        dx = da * (0.5 * (1.0 + t) + 0.5 * pre_act * (1.0 - t ** 2) * dinner)
+        np.multiply(da, 0.5 * (1.0 + t) + 0.5 * pre_act * (1.0 - t ** 2)
+                    * dinner, out=dx)
     else:
         raise ValueError(f"unknown activation {activation!r}")
-    dbias = dx.reshape(-1, dx.shape[-1]).sum(axis=0)
+    dbias = out_buffer(out_dbias, (dx.shape[-1],), dx.dtype)
+    dx.reshape(-1, dx.shape[-1]).sum(axis=0, out=dbias)
     record("ls_bias_act_dropout_bwd",
-           dy.size + mask.size // 4 + 1 + pre_act.size,
+           dy.size + _mask_traffic(mask) + pre_act.size,
            dx.size + dbias.size, flops=14 * dx.size, fp16=fp16)
     return dx, dbias
 
 
 def dropout_residual_forward(x: np.ndarray, residual: np.ndarray, p: float,
                              rng: np.random.Generator, *, fp16: bool = False,
-                             mask: Optional[np.ndarray] = None
-                             ) -> Tuple[np.ndarray, np.ndarray]:
+                             mask: Optional[np.ndarray] = None, out=None
+                             ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
     """Fused ``dropout(x) + residual`` (used after the out-proj has no bias)."""
     if mask is None:
         mask = make_dropout_mask(x.shape, p, rng)
-    scale = 1.0 / (1.0 - p) if p > 0 else 1.0
-    y = x * (mask * np.float32(scale)) + residual
+    y = out_buffer(out, x.shape, np.result_type(x, residual))
+    if mask is None:
+        np.add(x, residual, out=y)
+    else:
+        scale = 1.0 / (1.0 - p) if p > 0 else 1.0
+        np.add(x * (mask * np.float32(scale)), residual, out=y)
     record("ls_dropout_residual_fwd",
-           x.size + residual.size + mask.size // 4 + 1, y.size,
+           x.size + residual.size + _mask_traffic(mask), y.size,
            flops=3 * y.size, fp16=fp16)
     return y, mask

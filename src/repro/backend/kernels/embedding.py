@@ -19,6 +19,10 @@ accumulate-in-place semantics.
 * naive path: gather, scale, positional add, dropout — 4 launches forward;
   dropout-bwd, un-scale, scatter-add — 3 launches backward.
 * fused path: 1 launch each way.
+
+Dropout masks follow the module-wide convention: ``p == 0`` means no mask is
+materialised (``mask`` is/returns ``None``) and the identity multiply is
+skipped.  All kernels accept ``out=`` buffers from the activation arena.
 """
 
 from __future__ import annotations
@@ -27,8 +31,8 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from . import record
-from .elementwise import make_dropout_mask
+from . import out_buffer, record
+from .elementwise import _mask_traffic, make_dropout_mask
 
 
 def sinusoidal_positions(max_len: int, dim: int) -> np.ndarray:
@@ -65,8 +69,8 @@ def embedding_forward_naive(tokens: np.ndarray, table: np.ndarray,
                             pos_table: np.ndarray, scale: float, p: float,
                             rng: np.random.Generator, *, fp16: bool = False,
                             pad_idx: Optional[int] = None,
-                            mask: Optional[np.ndarray] = None
-                            ) -> Tuple[np.ndarray, np.ndarray]:
+                            mask: Optional[np.ndarray] = None, out=None
+                            ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
     """Baseline 4-launch embedding forward. Returns (y, dropout_mask)."""
     _validate(tokens, table, pos_table)
     b, l = tokens.shape
@@ -86,45 +90,58 @@ def embedding_forward_naive(tokens: np.ndarray, table: np.ndarray,
     # launch 4: dropout
     if mask is None:
         mask = make_dropout_mask(emb.shape, p, rng)
-    keep = 1.0 / (1.0 - p) if p > 0 else 1.0
-    y = emb * (mask * np.float32(keep))
-    record("dropout_fwd", emb.size + mask.size // 4 + 1, y.size,
+    y = out_buffer(out, (b, l, h), np.float32)
+    if mask is None:
+        np.copyto(y, emb)
+    else:
+        keep = 1.0 / (1.0 - p) if p > 0 else 1.0
+        np.multiply(emb, mask * np.float32(keep), out=y)
+    record("dropout_fwd", emb.size + _mask_traffic(mask), y.size,
            flops=2 * y.size, fp16=fp16)
-    return y.astype(np.float32), mask
+    return y, mask
 
 
 def embedding_forward_fused(tokens: np.ndarray, table: np.ndarray,
                             pos_table: np.ndarray, scale: float, p: float,
                             rng: np.random.Generator, *, fp16: bool = False,
                             pad_idx: Optional[int] = None,
-                            mask: Optional[np.ndarray] = None
-                            ) -> Tuple[np.ndarray, np.ndarray]:
+                            mask: Optional[np.ndarray] = None, out=None
+                            ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
     """Fused 1-launch forward: gather + scale + pos add + dropout."""
     _validate(tokens, table, pos_table)
     b, l = tokens.shape
     h = table.shape[1]
     if mask is None:
         mask = make_dropout_mask((b, l, h), p, rng)
-    keep = 1.0 / (1.0 - p) if p > 0 else 1.0
     emb = table[tokens] * np.float32(scale) + pos_table[:l][None, :, :]
     if pad_idx is not None:
         emb = np.where((tokens == pad_idx)[..., None], 0.0, emb)
-    y = emb * (mask * np.float32(keep))
+    y = out_buffer(out, (b, l, h), np.float32)
+    if mask is None:
+        np.copyto(y, emb)
+    else:
+        keep = 1.0 / (1.0 - p) if p > 0 else 1.0
+        np.multiply(emb, mask * np.float32(keep), out=y)
     record("ls_embedding_fwd",
-           b * l * h + tokens.size + l * h + mask.size // 4 + 1, y.size,
+           b * l * h + tokens.size + l * h + _mask_traffic(mask), y.size,
            flops=4 * y.size, fp16=fp16)
-    return y.astype(np.float32), mask
+    return y, mask
 
 
 def embedding_backward_naive(dy: np.ndarray, tokens: np.ndarray,
-                             mask: np.ndarray, scale: float, p: float,
-                             vocab_size: int, *, fp16: bool = False,
-                             pad_idx: Optional[int] = None) -> np.ndarray:
+                             mask: Optional[np.ndarray], scale: float,
+                             p: float, vocab_size: int, *,
+                             fp16: bool = False,
+                             pad_idx: Optional[int] = None,
+                             out=None) -> np.ndarray:
     """Baseline 3-launch backward. Returns dE of shape (V, H)."""
-    keep = 1.0 / (1.0 - p) if p > 0 else 1.0
     # launch 1: dropout backward
-    d = dy * (mask * np.float32(keep))
-    record("dropout_bwd", dy.size + mask.size // 4 + 1, d.size,
+    if mask is None:
+        d = dy
+    else:
+        keep = 1.0 / (1.0 - p) if p > 0 else 1.0
+        d = dy * (mask * np.float32(keep))
+    record("dropout_bwd", dy.size + _mask_traffic(mask), d.size,
            flops=2 * d.size, fp16=fp16)
     # launch 2: un-scale
     d = d * np.float32(scale)
@@ -132,7 +149,8 @@ def embedding_backward_naive(dy: np.ndarray, tokens: np.ndarray,
     if pad_idx is not None:
         d = np.where((tokens == pad_idx)[..., None], 0.0, d)
     # launch 3: scatter-add (index_put_ with accumulate)
-    grad = np.zeros((vocab_size, dy.shape[-1]), dtype=np.float32)
+    grad = out_buffer(out, (vocab_size, dy.shape[-1]), np.float32)
+    grad.fill(0.0)
     np.add.at(grad, tokens.reshape(-1), d.reshape(-1, dy.shape[-1]))
     record("embed_scatter_add", d.size + tokens.size, grad.size,
            flops=d.size, fp16=fp16)
@@ -140,17 +158,23 @@ def embedding_backward_naive(dy: np.ndarray, tokens: np.ndarray,
 
 
 def embedding_backward_fused(dy: np.ndarray, tokens: np.ndarray,
-                             mask: np.ndarray, scale: float, p: float,
-                             vocab_size: int, *, fp16: bool = False,
-                             pad_idx: Optional[int] = None) -> np.ndarray:
+                             mask: Optional[np.ndarray], scale: float,
+                             p: float, vocab_size: int, *,
+                             fp16: bool = False,
+                             pad_idx: Optional[int] = None,
+                             out=None) -> np.ndarray:
     """Fused 1-launch backward: dropout-bwd, scale and atomicAdd scatter."""
-    keep = 1.0 / (1.0 - p) if p > 0 else 1.0
-    d = dy * (mask * np.float32(keep)) * np.float32(scale)
+    if mask is None:
+        d = dy * np.float32(scale)
+    else:
+        keep = 1.0 / (1.0 - p) if p > 0 else 1.0
+        d = dy * (mask * np.float32(keep)) * np.float32(scale)
     if pad_idx is not None:
         d = np.where((tokens == pad_idx)[..., None], 0.0, d)
-    grad = np.zeros((vocab_size, dy.shape[-1]), dtype=np.float32)
+    grad = out_buffer(out, (vocab_size, dy.shape[-1]), np.float32)
+    grad.fill(0.0)
     np.add.at(grad, tokens.reshape(-1), d.reshape(-1, dy.shape[-1]))
     record("ls_embedding_bwd",
-           dy.size + mask.size // 4 + 1 + tokens.size, grad.size,
+           dy.size + _mask_traffic(mask) + tokens.size, grad.size,
            flops=3 * dy.size, fp16=fp16)
     return grad

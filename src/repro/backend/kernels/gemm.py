@@ -8,13 +8,17 @@ single launch flagged ``is_gemm=True``; the cost model prices those with
 
 Shapes follow numpy ``matmul`` semantics, including batched GEMM with leading
 broadcast dimensions (the attention score/context products).
+
+Every kernel takes optional ``out=`` buffers (``out_dx``/``out_dw`` for the
+two-output backward) so the activation arena can serve results from its
+pre-reserved slab — cuBLAS's ``C`` operand, in paper terms.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from . import record
+from . import out_buffer, record
 
 
 def _gemm_flops(a: np.ndarray, b: np.ndarray, out: np.ndarray) -> int:
@@ -23,17 +27,24 @@ def _gemm_flops(a: np.ndarray, b: np.ndarray, out: np.ndarray) -> int:
     return int(2 * out.size * k)
 
 
+def _mm_shape(a: np.ndarray, b: np.ndarray) -> tuple:
+    """Broadcasted output shape of ``a @ b``."""
+    lead = np.broadcast_shapes(a.shape[:-2], b.shape[:-2])
+    return lead + (a.shape[-2], b.shape[-1])
+
+
 def matmul(a: np.ndarray, b: np.ndarray, *, fp16: bool = False,
-           name: str = "gemm") -> np.ndarray:
+           name: str = "gemm", out=None) -> np.ndarray:
     """``a @ b`` as one cuBLAS GEMM launch."""
-    out = np.matmul(a, b)
+    out = out_buffer(out, _mm_shape(a, b), np.result_type(a, b))
+    np.matmul(a, b, out=out)
     record(name, a.size + b.size, out.size,
            flops=_gemm_flops(a, b, out), is_gemm=True, fp16=fp16)
     return out
 
 
 def linear_forward(x: np.ndarray, w: np.ndarray, *, fp16: bool = False,
-                   name: str = "gemm_linear") -> np.ndarray:
+                   name: str = "gemm_linear", out=None) -> np.ndarray:
     """Linear transform ``x @ w.T`` (fairseq weight layout: (out, in)).
 
     Bias addition is *not* included: in the naive path it is a separate
@@ -41,35 +52,42 @@ def linear_forward(x: np.ndarray, w: np.ndarray, *, fp16: bool = False,
     custom kernel (e.g. ``bias_dropout_residual``).  Keeping GEMM bias-free
     makes the two paths share identical GEMM traces, as in the paper.
     """
-    out = np.matmul(x, w.T)
+    out = out_buffer(out, x.shape[:-1] + (w.shape[0],), np.result_type(x, w))
+    np.matmul(x, w.T, out=out)
     record(name, x.size + w.size, out.size,
            flops=_gemm_flops(x, w.T, out), is_gemm=True, fp16=fp16)
     return out
 
 
 def linear_backward(x: np.ndarray, w: np.ndarray, dy: np.ndarray, *,
-                    fp16: bool = False, name: str = "gemm_linear") -> tuple:
+                    fp16: bool = False, name: str = "gemm_linear",
+                    out_dx=None, out_dw=None) -> tuple:
     """Backward of ``y = x @ w.T``: returns (dx, dw).
 
     Two GEMM launches, matching cuBLAS usage in every training framework:
     ``dx = dy @ w`` and ``dw = dy^T @ x`` (flattened over batch dims).
     """
-    dx = np.matmul(dy, w)
+    dx = out_buffer(out_dx, dy.shape[:-1] + (w.shape[1],),
+                    np.result_type(dy, w))
+    np.matmul(dy, w, out=dx)
     record(name + "_dx", dy.size + w.size, dx.size,
            flops=_gemm_flops(dy, w, dx), is_gemm=True, fp16=fp16)
 
     dy2 = dy.reshape(-1, dy.shape[-1])
     x2 = x.reshape(-1, x.shape[-1])
-    dw = np.matmul(dy2.T, x2)
+    dw = out_buffer(out_dw, (dy2.shape[1], x2.shape[1]),
+                    np.result_type(dy, x))
+    np.matmul(dy2.T, x2, out=dw)
     record(name + "_dw", dy2.size + x2.size, dw.size,
            flops=_gemm_flops(dy2.T, x2, dw), is_gemm=True, fp16=fp16)
     return dx, dw
 
 
 def batched_matmul(a: np.ndarray, b: np.ndarray, *, fp16: bool = False,
-                   name: str = "gemm_batched") -> np.ndarray:
+                   name: str = "gemm_batched", out=None) -> np.ndarray:
     """Batched GEMM (attention QK^T and probs@V). One strided-batch launch."""
-    out = np.matmul(a, b)
+    out = out_buffer(out, _mm_shape(a, b), np.result_type(a, b))
+    np.matmul(a, b, out=out)
     record(name, a.size + b.size, out.size,
            flops=_gemm_flops(a, b, out), is_gemm=True, fp16=fp16)
     return out

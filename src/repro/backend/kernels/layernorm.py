@@ -33,6 +33,10 @@ Backward: with ``g_i = w_i * dy_i`` the standard gradient is::
 
 Per the paper, LayerNorm keeps FP16 *storage* but computes in FP32; the
 module-wide COMPUTE_DTYPE policy already guarantees that.
+
+All kernels accept ``out*=`` buffers (arena slab views); each output's final
+producing operation writes directly into its buffer, so the arena path adds
+no extra copies over the fresh-allocation path.
 """
 
 from __future__ import annotations
@@ -41,7 +45,7 @@ from typing import Tuple
 
 import numpy as np
 
-from . import record
+from . import out_buffer, record
 
 
 def _check(x: np.ndarray, w: np.ndarray, b: np.ndarray) -> None:
@@ -51,37 +55,53 @@ def _check(x: np.ndarray, w: np.ndarray, b: np.ndarray) -> None:
             f"feature dim {x.shape[-1]}")
 
 
+def _stat_shape(x: np.ndarray) -> tuple:
+    return x.shape[:-1] + (1,)
+
+
 def layernorm_forward_naive(x: np.ndarray, w: np.ndarray, b: np.ndarray, *,
-                            eps: float = 1e-5, fp16: bool = False
+                            eps: float = 1e-5, fp16: bool = False,
+                            out=None, out_mu=None, out_rstd=None
                             ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Two-pass LayerNorm forward: 3 kernel launches. Returns (y, mu, rstd)."""
     _check(x, w, b)
+    mu = out_buffer(out_mu, _stat_shape(x), x.dtype)
+    rstd = out_buffer(out_rstd, _stat_shape(x), x.dtype)
+    y = out_buffer(out, x.shape, np.result_type(x, w))
     # launch 1: mean reduction
-    mu = x.mean(axis=-1, keepdims=True)
+    x.mean(axis=-1, keepdims=True, out=mu)
     record("layernorm_mean", x.size, mu.size, flops=x.size, fp16=fp16)
     # launch 2: variance reduction (depends on mu -> sequential sync)
     var = ((x - mu) ** 2).mean(axis=-1, keepdims=True)
     record("layernorm_var", x.size + mu.size, var.size, flops=3 * x.size,
            fp16=fp16)
     # launch 3: normalize + affine
-    rstd = 1.0 / np.sqrt(var + eps)
-    y = w * ((x - mu) * rstd) + b
+    np.divide(1.0, np.sqrt(var + eps), out=rstd)
+    xhat = (x - mu) * rstd
+    np.multiply(xhat, w, out=y)
+    np.add(y, b, out=y)
     record("layernorm_affine", x.size + mu.size + var.size + 2 * w.size,
            y.size, flops=4 * x.size, fp16=fp16)
     return y, mu, rstd
 
 
 def layernorm_forward_fused(x: np.ndarray, w: np.ndarray, b: np.ndarray, *,
-                            eps: float = 1e-5, fp16: bool = False
+                            eps: float = 1e-5, fp16: bool = False,
+                            out=None, out_mu=None, out_rstd=None
                             ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """One-pass fused forward using ``var = E[x^2] - E[x]^2``: 1 launch."""
     _check(x, w, b)
-    mu = x.mean(axis=-1, keepdims=True)
+    mu = out_buffer(out_mu, _stat_shape(x), x.dtype)
+    rstd = out_buffer(out_rstd, _stat_shape(x), x.dtype)
+    y = out_buffer(out, x.shape, np.result_type(x, w))
+    x.mean(axis=-1, keepdims=True, out=mu)
     # independent second moment -> both reductions run in the same pass
     mu2 = (x * x).mean(axis=-1, keepdims=True)
     var = np.maximum(mu2 - mu * mu, 0.0)
-    rstd = 1.0 / np.sqrt(var + eps)
-    y = w * ((x - mu) * rstd) + b
+    np.divide(1.0, np.sqrt(var + eps), out=rstd)
+    xhat = (x - mu) * rstd
+    np.multiply(xhat, w, out=y)
+    np.add(y, b, out=y)
     record("ls_layernorm_fwd", x.size + 2 * w.size, y.size,
            flops=7 * x.size, fp16=fp16)
     return y, mu, rstd
@@ -89,15 +109,19 @@ def layernorm_forward_fused(x: np.ndarray, w: np.ndarray, b: np.ndarray, *,
 
 def layernorm_backward_naive(dy: np.ndarray, x: np.ndarray, w: np.ndarray,
                              mu: np.ndarray, rstd: np.ndarray, *,
-                             fp16: bool = False
+                             fp16: bool = False, out_dx=None, out_dw=None,
+                             out_db=None
                              ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Sequential-reduction backward: 3 launches. Returns (dx, dw, db)."""
     m = x.shape[-1]
+    dt = np.result_type(dy, x)
     xhat = (x - mu) * rstd
     g = dy * w
     # launch 1: parameter gradients (reductions over all rows)
-    dw = (dy * xhat).reshape(-1, m).sum(axis=0)
-    db = dy.reshape(-1, m).sum(axis=0)
+    dw = out_buffer(out_dw, (m,), dt)
+    db = out_buffer(out_db, (m,), dt)
+    (dy * xhat).reshape(-1, m).sum(axis=0, out=dw)
+    dy.reshape(-1, m).sum(axis=0, out=db)
     record("layernorm_param_grad", dy.size + x.size, dw.size + db.size,
            flops=4 * dy.size, fp16=fp16)
     # launch 2: row reductions for dx (sequential: mean(g) then mean(g*xhat))
@@ -106,7 +130,8 @@ def layernorm_backward_naive(dy: np.ndarray, x: np.ndarray, w: np.ndarray,
     record("layernorm_dx_reduce", 2 * g.size, mg.size + mgx.size,
            flops=4 * g.size, fp16=fp16)
     # launch 3: element-wise apply
-    dx = rstd * (g - mg - xhat * mgx)
+    dx = out_buffer(out_dx, x.shape, dt)
+    np.multiply(rstd, g - mg - xhat * mgx, out=dx)
     record("layernorm_dx_apply", g.size + mg.size + mgx.size, dx.size,
            flops=5 * dx.size, fp16=fp16)
     return dx, dw, db
@@ -114,7 +139,8 @@ def layernorm_backward_naive(dy: np.ndarray, x: np.ndarray, w: np.ndarray,
 
 def layernorm_backward_fused(dy: np.ndarray, x: np.ndarray, w: np.ndarray,
                              mu: np.ndarray, rstd: np.ndarray, *,
-                             fp16: bool = False
+                             fp16: bool = False, out_dx=None, out_dw=None,
+                             out_db=None
                              ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Paper's parallel-reduction backward: 1 fused launch.
 
@@ -123,6 +149,7 @@ def layernorm_backward_fused(dy: np.ndarray, x: np.ndarray, w: np.ndarray,
     run concurrently, here we simply note they share one kernel.
     """
     m = x.shape[-1]
+    dt = np.result_type(dy, x)
     sigma = 1.0 / rstd                           # sigma = sqrt(var + eps)
     g = dy * w                                   # w_i * dy_i
     s1 = g.sum(axis=-1, keepdims=True)           # sum_j w_j dy_j
@@ -130,11 +157,14 @@ def layernorm_backward_fused(dy: np.ndarray, x: np.ndarray, w: np.ndarray,
     sigma3 = sigma ** 3
     alpha = ((x - mu) * mu - sigma ** 2) / (m * sigma3)
     beta = (mu - x) / (m * sigma3)
-    dx = g / sigma + alpha * s1 + beta * s2
+    dx = out_buffer(out_dx, x.shape, dt)
+    np.add(g / sigma + alpha * s1, beta * s2, out=dx)
     # fused dgamma/dbeta in the same launch
     xhat = (x - mu) * rstd
-    dw = (dy * xhat).reshape(-1, m).sum(axis=0)
-    db = dy.reshape(-1, m).sum(axis=0)
+    dw = out_buffer(out_dw, (m,), dt)
+    db = out_buffer(out_db, (m,), dt)
+    (dy * xhat).reshape(-1, m).sum(axis=0, out=dw)
+    dy.reshape(-1, m).sum(axis=0, out=db)
     record("ls_layernorm_bwd", dy.size + x.size + w.size,
            dx.size + dw.size + db.size, flops=14 * dy.size, fp16=fp16)
     return dx, dw, db

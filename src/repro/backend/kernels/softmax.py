@@ -20,6 +20,15 @@ The criterion layer reuses step 3 "with additional logarithmic operations":
 Backward: ``dx_i = y_i * (dy_i - sum_j dy_j y_j)`` — one reduction plus one
 element-wise apply (naive: 2 launches; fused: 1, with "four warps per block
 to run synchronizations in parallel" per the paper).
+
+All kernels accept ``out*=`` buffers (arena slab views); the final producing
+operation writes straight into the buffer, so the arena path costs no extra
+copies.  ``attn_softmax_dropout_backward_fused`` additionally tolerates
+``out`` aliasing ``dy`` — the in-place gradient trick from the paper's
+attention backward (Fig. 8) — because the row reduction is consumed before
+the buffer is overwritten.  When attention dropout is disabled (``p == 0``)
+no dropout mask is materialised at all: ``dmask`` is returned/accepted as
+``None`` and the (bitwise identity) multiply-by-one pass is skipped.
 """
 
 from __future__ import annotations
@@ -28,11 +37,11 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from . import record
+from . import out_buffer, record
 
 
 def softmax_forward_naive(x: np.ndarray, *, axis: int = -1,
-                          fp16: bool = False) -> np.ndarray:
+                          fp16: bool = False, out=None) -> np.ndarray:
     """Framework softmax: ONE generic kernel, multi-pass traffic.
 
     The three numerical steps (max reduce, exp+sum reduce, normalize) make
@@ -41,38 +50,42 @@ def softmax_forward_naive(x: np.ndarray, *, axis: int = -1,
     """
     xmax = x.max(axis=axis, keepdims=True)
     e = np.exp(x - xmax)
-    y = e / e.sum(axis=axis, keepdims=True)
+    y = out_buffer(out, x.shape, e.dtype)
+    np.divide(e, e.sum(axis=axis, keepdims=True), out=y)
     record("softmax_fwd", 2 * x.size, 2 * y.size, flops=5 * x.size,
            fp16=fp16)
     return y
 
 
 def softmax_forward_fused(x: np.ndarray, *, axis: int = -1,
-                          fp16: bool = False) -> np.ndarray:
+                          fp16: bool = False, out=None) -> np.ndarray:
     """All three steps in one launch (CUB block reduce analog)."""
     xmax = x.max(axis=axis, keepdims=True)
     e = np.exp(x - xmax)
-    y = e / e.sum(axis=axis, keepdims=True)
+    y = out_buffer(out, x.shape, e.dtype)
+    np.divide(e, e.sum(axis=axis, keepdims=True), out=y)
     record("ls_softmax_fwd", x.size, y.size, flops=5 * x.size, fp16=fp16)
     return y
 
 
 def softmax_backward_naive(dy: np.ndarray, y: np.ndarray, *, axis: int = -1,
-                           fp16: bool = False) -> np.ndarray:
+                           fp16: bool = False, out=None) -> np.ndarray:
     """Framework softmax backward: one kernel, dot-reduce pass + apply
     pass over global memory."""
     dot = (dy * y).sum(axis=axis, keepdims=True)
-    dx = y * (dy - dot)
+    dx = out_buffer(out, dy.shape, np.result_type(dy, y))
+    np.multiply(y, dy - dot, out=dx)
     record("softmax_bwd", 2 * (dy.size + y.size), dx.size,
            flops=4 * dx.size, fp16=fp16)
     return dx
 
 
 def softmax_backward_fused(dy: np.ndarray, y: np.ndarray, *, axis: int = -1,
-                           fp16: bool = False) -> np.ndarray:
+                           fp16: bool = False, out=None) -> np.ndarray:
     """Single launch, parallel warp reductions."""
     dot = (dy * y).sum(axis=axis, keepdims=True)
-    dx = y * (dy - dot)
+    dx = out_buffer(out, dy.shape, np.result_type(dy, y))
+    np.multiply(y, dy - dot, out=dx)
     record("ls_softmax_bwd", dy.size + y.size, dx.size, flops=4 * dx.size,
            fp16=fp16)
     return dx
@@ -85,7 +98,7 @@ def softmax_backward_fused(dy: np.ndarray, y: np.ndarray, *, axis: int = -1,
 
 def attn_softmax_forward_naive(scores: np.ndarray, scale: float,
                                mask: Optional[np.ndarray], *,
-                               fp16: bool = False) -> np.ndarray:
+                               fp16: bool = False, out=None) -> np.ndarray:
     """Baseline attention softmax: scale kernel, mask-add kernel, 3-step
     softmax — up to 5 launches total."""
     s = scores * np.float32(scale)
@@ -94,19 +107,20 @@ def attn_softmax_forward_naive(scores: np.ndarray, scale: float,
         s = s + mask
         record("attn_mask_add", s.size + mask.size, s.size, flops=s.size,
                fp16=fp16)
-    return softmax_forward_naive(s, fp16=fp16)
+    return softmax_forward_naive(s, fp16=fp16, out=out)
 
 
 def attn_softmax_forward_fused(scores: np.ndarray, scale: float,
                                mask: Optional[np.ndarray], *,
-                               fp16: bool = False) -> np.ndarray:
+                               fp16: bool = False, out=None) -> np.ndarray:
     """Fused scale + mask + stable softmax: one launch."""
     s = scores * np.float32(scale)
     if mask is not None:
         s = s + mask
     smax = s.max(axis=-1, keepdims=True)
     e = np.exp(s - smax)
-    y = e / e.sum(axis=-1, keepdims=True)
+    y = out_buffer(out, scores.shape, e.dtype)
+    np.divide(e, e.sum(axis=-1, keepdims=True), out=y)
     nread = scores.size + (mask.size if mask is not None else 0)
     record("ls_attn_softmax_fwd", nread, y.size, flops=7 * scores.size,
            fp16=fp16)
@@ -114,19 +128,22 @@ def attn_softmax_forward_fused(scores: np.ndarray, scale: float,
 
 
 def attn_softmax_backward_naive(dy: np.ndarray, y: np.ndarray, scale: float,
-                                *, fp16: bool = False) -> np.ndarray:
+                                *, fp16: bool = False, out=None) -> np.ndarray:
     """Baseline: softmax backward (2 launches) + un-scale kernel."""
     ds = softmax_backward_naive(dy, y, fp16=fp16)
-    dscores = ds * np.float32(scale)
+    dscores = out_buffer(out, ds.shape, ds.dtype)
+    np.multiply(ds, np.float32(scale), out=dscores)
     record("attn_unscale", ds.size, dscores.size, flops=ds.size, fp16=fp16)
     return dscores
 
 
 def attn_softmax_backward_fused(dy: np.ndarray, y: np.ndarray, scale: float,
-                                *, fp16: bool = False) -> np.ndarray:
+                                *, fp16: bool = False, out=None) -> np.ndarray:
     """Fused softmax backward with the scale folded in: one launch."""
     dot = (dy * y).sum(axis=-1, keepdims=True)
-    dscores = y * (dy - dot) * np.float32(scale)
+    tmp = y * (dy - dot)
+    dscores = out_buffer(out, dy.shape, tmp.dtype)
+    np.multiply(tmp, np.float32(scale), out=dscores)
     record("ls_attn_softmax_bwd", dy.size + y.size, dscores.size,
            flops=5 * dy.size, fp16=fp16)
     return dscores
@@ -138,7 +155,7 @@ def attn_softmax_backward_fused(dy: np.ndarray, y: np.ndarray, scale: float,
 
 
 def log_softmax_forward_fused(x: np.ndarray, *, axis: int = -1,
-                              fp16: bool = False
+                              fp16: bool = False, out_logq=None, out_q=None
                               ) -> Tuple[np.ndarray, np.ndarray]:
     """Fused stable log-softmax: returns (log_q, q).
 
@@ -148,20 +165,23 @@ def log_softmax_forward_fused(x: np.ndarray, *, axis: int = -1,
     """
     xmax = x.max(axis=axis, keepdims=True)
     shifted = x - xmax
-    z = np.exp(shifted).sum(axis=axis, keepdims=True)
-    logq = shifted - np.log(z)
-    q = np.exp(logq)
+    lz = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    logq = out_buffer(out_logq, x.shape, np.result_type(shifted, lz))
+    np.subtract(shifted, lz, out=logq)
+    q = out_buffer(out_q, x.shape, logq.dtype)
+    np.exp(logq, out=q)
     record("ls_log_softmax_fwd", x.size, logq.size + q.size,
            flops=6 * x.size, fp16=fp16)
     return logq, q
 
 
 def log_softmax_forward_naive(x: np.ndarray, *, axis: int = -1,
-                              fp16: bool = False
+                              fp16: bool = False, out_logq=None, out_q=None
                               ) -> Tuple[np.ndarray, np.ndarray]:
     """Baseline log-softmax: softmax (3 launches) then log kernel."""
-    q = softmax_forward_naive(x, axis=axis, fp16=fp16)
-    logq = np.log(np.maximum(q, np.finfo(np.float32).tiny))
+    q = softmax_forward_naive(x, axis=axis, fp16=fp16, out=out_q)
+    logq = out_buffer(out_logq, q.shape, q.dtype)
+    np.log(np.maximum(q, np.finfo(np.float32).tiny), out=logq)
     record("log_kernel", q.size, logq.size, flops=q.size, fp16=fp16)
     return logq, q
 
@@ -175,16 +195,19 @@ def attn_softmax_dropout_forward_fused(scores: np.ndarray, scale: float,
                                        mask: Optional[np.ndarray],
                                        p: float, rng, *,
                                        fp16: bool = False,
-                                       dmask: Optional[np.ndarray] = None
+                                       dmask: Optional[np.ndarray] = None,
+                                       out=None, out_probs=None
                                        ) -> Tuple[np.ndarray, np.ndarray,
-                                                  np.ndarray]:
+                                                  Optional[np.ndarray]]:
     """Scale + mask + stable softmax + attention dropout in ONE launch.
 
     The LightSeq2 attention kernel keeps the softmax probabilities in
     registers and applies dropout before writing back, saving a full
     round-trip of the (B, N, L, L) tensor.  Returns
     ``(dropped_probs, probs, dropout_mask)`` — probs are saved for the
-    backward, as the CUDA kernel stores them.
+    backward, as the CUDA kernel stores them.  With ``p == 0`` no mask is
+    drawn or stored (``dropout_mask`` is None) and ``dropped_probs`` *is*
+    ``probs`` unless a distinct ``out`` buffer forces a copy.
     """
     from .elementwise import make_dropout_mask
     s = scores * np.float32(scale)
@@ -192,31 +215,51 @@ def attn_softmax_dropout_forward_fused(scores: np.ndarray, scale: float,
         s = s + mask
     smax = s.max(axis=-1, keepdims=True)
     e = np.exp(s - smax)
-    probs = e / e.sum(axis=-1, keepdims=True)
-    if dmask is None:
+    probs = out_buffer(out_probs, scores.shape, e.dtype)
+    np.divide(e, e.sum(axis=-1, keepdims=True), out=probs)
+    if dmask is None and p > 0:
         dmask = make_dropout_mask(probs.shape, p, rng)
-    keep = 1.0 / (1.0 - p) if p > 0 else 1.0
-    dropped = probs * (dmask * np.float32(keep))
+    if dmask is None:
+        # p == 0: dropout is the identity — skip the mask multiply entirely
+        dropped = probs if out is None else out_buffer(out, probs.shape,
+                                                       probs.dtype)
+        if dropped is not probs:
+            np.copyto(dropped, probs)
+    else:
+        keep = 1.0 / (1.0 - p) if p > 0 else 1.0
+        dropped = out_buffer(out, probs.shape, probs.dtype)
+        np.multiply(probs, dmask * np.float32(keep), out=dropped)
     nread = scores.size + (mask.size if mask is not None else 0)
-    record("ls_attn_softmax_dropout_fwd", nread + dmask.size // 4 + 1,
+    mask_traffic = dmask.size // 4 + 1 if dmask is not None else 0
+    record("ls_attn_softmax_dropout_fwd", nread + mask_traffic,
            dropped.size + probs.size, flops=9 * scores.size, fp16=fp16)
     return dropped, probs, dmask
 
 
 def attn_softmax_dropout_backward_fused(dy: np.ndarray, probs: np.ndarray,
-                                        dmask: np.ndarray, scale: float,
-                                        p: float, *,
-                                        fp16: bool = False) -> np.ndarray:
+                                        dmask: Optional[np.ndarray],
+                                        scale: float, p: float, *,
+                                        fp16: bool = False,
+                                        out=None) -> np.ndarray:
     """Fused backward of dropout∘softmax∘scale: one launch.
 
     ``d_probs = dy * m/(1-p)``, then the softmax backward with the scale
     folded in — all without materialising the intermediate gradient.
+    ``out`` may alias ``dy`` (the in-place Fig.-8 plan): the row reduction
+    over ``dy`` completes before ``out`` is written.  ``dmask=None`` means
+    dropout was disabled — the identity un-dropout pass is skipped.
     """
-    keep = 1.0 / (1.0 - p) if p > 0 else 1.0
-    d_probs = dy * (dmask * np.float32(keep))
+    if dmask is None:
+        d_probs = dy
+    else:
+        keep = 1.0 / (1.0 - p) if p > 0 else 1.0
+        d_probs = dy * (dmask * np.float32(keep))
     dot = (d_probs * probs).sum(axis=-1, keepdims=True)
-    d_scores = probs * (d_probs - dot) * np.float32(scale)
+    tmp = probs * (d_probs - dot)
+    d_scores = out_buffer(out, dy.shape, tmp.dtype)
+    np.multiply(tmp, np.float32(scale), out=d_scores)
+    mask_traffic = dmask.size // 4 + 1 if dmask is not None else 0
     record("ls_attn_softmax_dropout_bwd",
-           dy.size + probs.size + dmask.size // 4 + 1, d_scores.size,
+           dy.size + probs.size + mask_traffic, d_scores.size,
            flops=7 * dy.size, fp16=fp16)
     return d_scores

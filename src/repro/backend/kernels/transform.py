@@ -6,6 +6,10 @@ add of the QKV projection into the head-split transpose, and packs Q, K, V
 into one tensor so the projection is a single GEMM.
 
 Shapes: hidden ``(B, L, H)`` <-> heads ``(B, N, L, D)`` with ``H = N * D``.
+
+All kernels accept ``out*=`` buffers; the copy that a transpose kernel *is*
+lands directly in the buffer (strided read, contiguous write — the same
+access pattern as the CUDA kernels).
 """
 
 from __future__ import annotations
@@ -14,42 +18,47 @@ from typing import Tuple
 
 import numpy as np
 
-from . import record
+from . import out_buffer, record
 
 
 def split_heads_naive(x: np.ndarray, nhead: int, *,
-                      fp16: bool = False) -> np.ndarray:
+                      fp16: bool = False, out=None) -> np.ndarray:
     """(B, L, H) -> (B, N, L, D): one transpose-copy launch."""
     b, l, h = x.shape
     if h % nhead:
         raise ValueError(f"hidden {h} not divisible by nhead {nhead}")
-    y = np.ascontiguousarray(
-        x.reshape(b, l, nhead, h // nhead).transpose(0, 2, 1, 3))
+    d = h // nhead
+    y = out_buffer(out, (b, nhead, l, d), x.dtype)
+    y[...] = x.reshape(b, l, nhead, d).transpose(0, 2, 1, 3)
     record("transpose_split_heads", x.size, y.size, fp16=fp16)
     return y
 
 
-def merge_heads_naive(x: np.ndarray, *, fp16: bool = False) -> np.ndarray:
+def merge_heads_naive(x: np.ndarray, *, fp16: bool = False,
+                      out=None) -> np.ndarray:
     """(B, N, L, D) -> (B, L, H): one transpose-copy launch."""
     b, n, l, d = x.shape
-    y = np.ascontiguousarray(x.transpose(0, 2, 1, 3)).reshape(b, l, n * d)
+    y = out_buffer(out, (b, l, n * d), x.dtype)
+    y.reshape(b, l, n, d)[...] = x.transpose(0, 2, 1, 3)
     record("transpose_merge_heads", x.size, y.size, fp16=fp16)
     return y
 
 
 def bias_split_heads_fused(x: np.ndarray, bias: np.ndarray, nhead: int, *,
-                           fp16: bool = False) -> np.ndarray:
+                           fp16: bool = False, out=None) -> np.ndarray:
     """Fused ``(x + bias)`` + head split in one launch (LS QKV epilogue)."""
     b, l, h = x.shape
-    y = np.ascontiguousarray(
-        (x + bias).reshape(b, l, nhead, h // nhead).transpose(0, 2, 1, 3))
+    d = h // nhead
+    y = out_buffer(out, (b, nhead, l, d), np.result_type(x, bias))
+    y[...] = (x + bias).reshape(b, l, nhead, d).transpose(0, 2, 1, 3)
     record("ls_bias_split_heads", x.size + bias.size, y.size,
            flops=x.size, fp16=fp16)
     return y
 
 
 def qkv_bias_split_heads_fused(qkv: np.ndarray, bias: np.ndarray,
-                               nhead: int, *, fp16: bool = False
+                               nhead: int, *, fp16: bool = False,
+                               out_q=None, out_k=None, out_v=None
                                ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Fused epilogue of the packed QKV GEMM: add bias, split into Q/K/V,
     split heads — one launch producing three head-major tensors.
@@ -64,27 +73,32 @@ def qkv_bias_split_heads_fused(qkv: np.ndarray, bias: np.ndarray,
         raise ValueError(f"hidden {h} not divisible by nhead {nhead}")
     d = h // nhead
     y = (qkv + bias).reshape(b, l, 3, nhead, d).transpose(2, 0, 3, 1, 4)
-    q = np.ascontiguousarray(y[0])
-    k = np.ascontiguousarray(y[1])
-    v = np.ascontiguousarray(y[2])
+    shape = (b, nhead, l, d)
+    q = out_buffer(out_q, shape, y.dtype)
+    k = out_buffer(out_k, shape, y.dtype)
+    v = out_buffer(out_v, shape, y.dtype)
+    np.copyto(q, y[0])
+    np.copyto(k, y[1])
+    np.copyto(v, y[2])
     record("ls_qkv_bias_split_heads", qkv.size + bias.size, qkv.size,
            flops=qkv.size, fp16=fp16)
     return q, k, v
 
 
 def qkv_merge_heads_fused(dq: np.ndarray, dk: np.ndarray, dv: np.ndarray, *,
-                          fp16: bool = False
+                          fp16: bool = False, out=None, out_dbias=None
                           ) -> Tuple[np.ndarray, np.ndarray]:
     """Backward of :func:`qkv_bias_split_heads_fused`: repack head-major
     dQ/dK/dV into a (B, L, 3H) gradient plus the fused bias gradient —
     one launch."""
     b, n, l, d = dq.shape
     h = n * d
-    dqkv = np.empty((b, l, 3 * h), dtype=dq.dtype)
+    dqkv = out_buffer(out, (b, l, 3 * h), dq.dtype)
     dqkv[:, :, :h] = dq.transpose(0, 2, 1, 3).reshape(b, l, h)
     dqkv[:, :, h:2 * h] = dk.transpose(0, 2, 1, 3).reshape(b, l, h)
     dqkv[:, :, 2 * h:] = dv.transpose(0, 2, 1, 3).reshape(b, l, h)
-    dbias = dqkv.reshape(-1, 3 * h).sum(axis=0)
+    dbias = out_buffer(out_dbias, (3 * h,), dqkv.dtype)
+    dqkv.reshape(-1, 3 * h).sum(axis=0, out=dbias)
     record("ls_qkv_merge_heads_bwd", dq.size + dk.size + dv.size,
            dqkv.size + dbias.size, flops=dqkv.size, fp16=fp16)
     return dqkv, dbias

@@ -1,17 +1,104 @@
-"""Trace aggregation utilities.
+"""Trace aggregation utilities and allocation instrumentation.
 
 Summarise a :class:`~repro.backend.device.Device` kernel trace by stage,
 kernel name, or category — the raw material for the Fig.-4 stage breakdown
 and the per-kernel efficiency figures (Figs. 13–15).
+
+This module also hosts the *allocation counters* behind the §3.3 activation
+arena: every kernel output buffer is obtained through
+:func:`repro.backend.kernels.out_buffer`, which reports here whether the
+buffer was a fresh numpy allocation, an arena hit (a view into the
+pre-reserved slab) or an arena miss (slab too small — the dry-run scan
+path).  Benches and tests use these counters to *assert* "zero allocations
+after warm-up" rather than inferring it from timings.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, Iterable, Mapping
 
 from .device import STAGES, KernelLaunch
+
+
+# ---------------------------------------------------------------------------
+# kernel-output allocation counters (activation-arena instrumentation)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class AllocCounters:
+    """Running totals of kernel-output buffer provenance.
+
+    ``fresh`` counts outputs numpy-allocated with no arena installed;
+    ``arena_misses`` counts outputs the arena had to fall back to a fresh
+    allocation for (scan pass, or a batch outgrowing the slab).  Both are
+    real allocator traffic; ``arena_hits`` are zero-cost slab views.  A
+    steady-state arena-backed training step must show
+    ``new_allocs == 0``.
+    """
+
+    fresh: int = 0
+    fresh_bytes: int = 0
+    arena_hits: int = 0
+    arena_hit_bytes: int = 0
+    arena_misses: int = 0
+    arena_miss_bytes: int = 0
+
+    @property
+    def new_allocs(self) -> int:
+        """Kernel outputs that caused a real numpy buffer allocation."""
+        return self.fresh + self.arena_misses
+
+    @property
+    def new_alloc_bytes(self) -> int:
+        return self.fresh_bytes + self.arena_miss_bytes
+
+    def snapshot(self) -> "AllocCounters":
+        return replace(self)
+
+    def since(self, base: "AllocCounters") -> "AllocCounters":
+        """Counter delta relative to an earlier :meth:`snapshot`."""
+        return AllocCounters(
+            fresh=self.fresh - base.fresh,
+            fresh_bytes=self.fresh_bytes - base.fresh_bytes,
+            arena_hits=self.arena_hits - base.arena_hits,
+            arena_hit_bytes=self.arena_hit_bytes - base.arena_hit_bytes,
+            arena_misses=self.arena_misses - base.arena_misses,
+            arena_miss_bytes=self.arena_miss_bytes - base.arena_miss_bytes,
+        )
+
+
+_ALLOC_COUNTERS = AllocCounters()
+
+
+def alloc_counters() -> AllocCounters:
+    """The live process-global counters (mutated by kernels/arena)."""
+    return _ALLOC_COUNTERS
+
+
+def reset_alloc_counters() -> None:
+    # mutate in place so references returned by alloc_counters() stay live
+    c = _ALLOC_COUNTERS
+    c.fresh = c.fresh_bytes = 0
+    c.arena_hits = c.arena_hit_bytes = 0
+    c.arena_misses = c.arena_miss_bytes = 0
+
+
+def count_fresh_alloc(nbytes: int) -> None:
+    _ALLOC_COUNTERS.fresh += 1
+    _ALLOC_COUNTERS.fresh_bytes += int(nbytes)
+
+
+def count_arena_hit(nbytes: int) -> None:
+    _ALLOC_COUNTERS.arena_hits += 1
+    _ALLOC_COUNTERS.arena_hit_bytes += int(nbytes)
+
+
+def count_arena_miss(nbytes: int) -> None:
+    _ALLOC_COUNTERS.arena_misses += 1
+    _ALLOC_COUNTERS.arena_miss_bytes += int(nbytes)
 
 
 @dataclass

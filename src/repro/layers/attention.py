@@ -109,12 +109,10 @@ class MultiHeadAttention(Layer):
         scores = gemm.batched_matmul(q, kt, fp16=fp16, name="gemm_qk")
         if fused:
             # ONE kernel: scale + mask + softmax + dropout (probs never
-            # round-trip through memory undropped)
+            # round-trip through memory undropped); dmask is None if p == 0
             probs_d, probs, dmask = \
                 softmax.attn_softmax_dropout_forward_fused(
                     scores, self.scale, mask, p_attn, self.rng, fp16=fp16)
-            if p_attn == 0:
-                dmask = None
         else:
             probs = softmax.attn_softmax_forward_naive(
                 scores, self.scale, mask, fp16=fp16)
@@ -185,27 +183,38 @@ class MultiHeadAttention(Layer):
         q, k, v = self.saved("q"), self.saved("k"), self.saved("v")
         probs, probs_d = self.saved("probs"), self.saved("probs_d")
         merged = self.saved("merged")
+        nhead = self.config.nhead
+        plan = self._backward_plan(q, k, fused)
+
+        def buf(key):
+            return plan[key] if plan is not None else None
 
         # out projection
         d_merged, dw_o = gemm.linear_backward(
-            merged, self.w_o.compute(), d_out, fp16=fp16, name="gemm_out_proj")
+            merged, self.w_o.compute(), d_out, fp16=fp16,
+            name="gemm_out_proj", out_dx=buf("d_merged"))
         self.w_o.accumulate_grad(dw_o)
-        nhead = self.config.nhead
-        d_ctx = transform.split_heads_naive(d_merged, nhead, fp16=fp16)
+        d_ctx = transform.split_heads_naive(d_merged, nhead, fp16=fp16,
+                                            out=buf("d_ctx"))
 
-        # probs @ v
+        # probs @ v — d_probs lands in the lifetime-shared probs/scores slot
         d_probs_d = gemm.batched_matmul(
-            d_ctx, np.swapaxes(v, -1, -2), fp16=fp16, name="gemm_pv_dprobs")
+            d_ctx, np.swapaxes(v, -1, -2), fp16=fp16, name="gemm_pv_dprobs",
+            out=buf("d_probs_scores"))
         d_v = gemm.batched_matmul(
-            np.swapaxes(probs_d, -1, -2), d_ctx, fp16=fp16, name="gemm_pv_dv")
+            np.swapaxes(probs_d, -1, -2), d_ctx, fp16=fp16,
+            name="gemm_pv_dv", out=buf("d_v"))
 
-        # attention dropout + softmax (+scale) backward
+        # attention dropout + softmax (+scale) backward.  The scores
+        # gradient overwrites the probs gradient *in place* (the Fig. 8
+        # reuse): the kernels finish their row reductions over dy before
+        # writing, so aliasing out with d_probs_d is safe.
         if fused:
-            dmask = (self.saved("dmask") if self._had_dropout
-                     else np.ones(probs.shape, dtype=np.uint8))
+            dmask = self.saved("dmask") if self._had_dropout else None
             d_scores = softmax.attn_softmax_dropout_backward_fused(
                 d_probs_d, probs, dmask, self.scale,
-                p_attn if self._had_dropout else 0.0, fp16=fp16)
+                p_attn if self._had_dropout else 0.0, fp16=fp16,
+                out=buf("d_probs_scores"))
         else:
             if self._had_dropout and p_attn > 0:
                 d_probs = ew.dropout_backward_naive(
@@ -213,26 +222,69 @@ class MultiHeadAttention(Layer):
             else:
                 d_probs = d_probs_d
             d_scores = softmax.attn_softmax_backward_naive(
-                d_probs, probs, self.scale, fp16=fp16)
+                d_probs, probs, self.scale, fp16=fp16,
+                out=buf("d_probs_scores"))
 
         # q @ k^T
-        d_q = gemm.batched_matmul(d_scores, k, fp16=fp16, name="gemm_qk_dq")
+        d_q = gemm.batched_matmul(d_scores, k, fp16=fp16, name="gemm_qk_dq",
+                                  out=buf("d_q"))
         d_k = gemm.batched_matmul(
-            np.swapaxes(d_scores, -1, -2), q, fp16=fp16, name="gemm_qk_dk")
+            np.swapaxes(d_scores, -1, -2), q, fp16=fp16, name="gemm_qk_dk",
+            out=buf("d_k"))
 
         if self.is_cross:
             return self._backward_cross(x, d_q, d_k, d_v, fused, fp16, nhead)
-        return self._backward_self(x, d_q, d_k, d_v, fused, fp16, nhead), None
+        return self._backward_self(x, d_q, d_k, d_v, fused, fp16, nhead,
+                                   plan), None
 
-    def _backward_self(self, x, d_q, d_k, d_v, fused, fp16, nhead):
+    def _backward_plan(self, q: np.ndarray, k: np.ndarray, fused: bool):
+        """Lifetime-shared slab views for the backward's intermediates.
+
+        Execution steps: 0 out-proj dx, 1 head split, 2 dprobs GEMM,
+        3 dv GEMM, 4 softmax(+dropout) backward (in-place over the dprobs
+        buffer), 5 dq GEMM, 6 dk GEMM, 7 QKV merge, 8 input-grad GEMM.
+        ``d_probs`` and ``d_scores`` share one slot by design (step 4 is
+        the paper's in-place rewrite); disjoint-lifetime tensors (e.g.
+        ``d_merged`` and everything after step 2) share offsets via
+        :func:`~repro.backend.allocator.plan_offsets`.  Requires float32
+        compute (always true under COMPUTE_DTYPE) — with no arena threaded
+        returns None and every kernel falls back transparently.
+        """
+        arena = self.arena
+        if arena is None:
+            return None
+        b, n, lq, dh = q.shape
+        lk = k.shape[2]
+        h = n * dh
+        f32 = np.dtype(np.float32)
+        entries = [
+            ("d_merged", (b, lq, h), f32, 0, 2),
+            ("d_ctx", (b, n, lq, dh), f32, 1, 4),
+            ("d_probs_scores", (b, n, lq, lk), f32, 2, 7),
+            ("d_v", (b, n, lk, dh), f32, 3, 8),
+            ("d_q", (b, n, lq, dh), f32, 5, 8),
+            ("d_k", (b, n, lk, dh), f32, 6, 8),
+        ]
+        if fused and not self.is_cross:
+            entries += [
+                ("d_qkv", (b, lq, 3 * h), f32, 7, 9),
+                # d_x escapes to the caller: give it a lifetime past every
+                # other tensor so only dead slots are shared with it
+                ("d_x", (b, lq, h), f32, 8, 10),
+            ]
+        return arena.request_plan(entries)
+
+    def _backward_self(self, x, d_q, d_k, d_v, fused, fp16, nhead, plan=None):
         h = self.config.hidden_dim
         if fused:
             d_qkv, d_bias = transform.qkv_merge_heads_fused(
-                d_q, d_k, d_v, fp16=fp16)
+                d_q, d_k, d_v, fp16=fp16,
+                out=plan["d_qkv"] if plan is not None else None)
             self.b_qkv.accumulate_grad(d_bias)
             d_x, dw = gemm.linear_backward(
                 x, self.w_qkv.compute(), d_qkv, fp16=fp16,
-                name="gemm_qkv_packed")
+                name="gemm_qkv_packed",
+                out_dx=plan["d_x"] if plan is not None else None)
             self.w_qkv.accumulate_grad(dw)
             return d_x
         w = self.w_qkv.compute()

@@ -17,6 +17,7 @@ from typing import Dict, Iterator, Optional, Tuple
 
 import numpy as np
 
+from ..backend.arena import ActivationArena, current_arena
 from ..backend.dtypes import storage_dtype, to_compute
 from ..config import LSConfig
 
@@ -95,6 +96,7 @@ class Layer:
         self._params: Dict[str, Parameter] = {}
         self._sublayers: Dict[str, "Layer"] = {}
         self._saved: Dict[str, np.ndarray] = {}
+        self._arena: Optional[ActivationArena] = None
         self.training = True
 
     # -- parameter / sublayer registry ---------------------------------------
@@ -141,6 +143,35 @@ class Layer:
     def eval(self) -> "Layer":
         return self.train(False)
 
+    # -- activation arena (§3.3) -----------------------------------------------
+
+    def set_arena(self, arena: Optional[ActivationArena]) -> "Layer":
+        """Thread an :class:`ActivationArena` through this layer tree.
+
+        Installed explicitly (surviving across steps), it serves every
+        kernel-output buffer of forward/backward from the pre-reserved
+        slab.  ``set_arena(None)`` restores fresh-allocation mode.
+        """
+        self._arena = arena
+        for sub in self._sublayers.values():
+            sub.set_arena(arena)
+        return self
+
+    @property
+    def arena(self) -> Optional[ActivationArena]:
+        """The arena in effect: the threaded one, else the ambient
+        ``with arena.step():`` installation, else None."""
+        return self._arena if self._arena is not None else current_arena()
+
+    def _buf(self, shape, dtype=np.float32) -> Optional[np.ndarray]:
+        """An output buffer from the threaded arena, or None (fresh path).
+
+        Returning None lets :func:`repro.backend.kernels.out_buffer` apply
+        its own fallback chain, keeping the no-arena behaviour unchanged.
+        """
+        arena = self._arena
+        return arena.request(shape, dtype) if arena is not None else None
+
     # -- saved-activation bookkeeping ------------------------------------------
 
     def save(self, **tensors: np.ndarray) -> None:
@@ -156,7 +187,7 @@ class Layer:
 
     def saved_nbytes(self) -> int:
         """Bytes of activations this layer is holding for backward."""
-        own = sum(t.nbytes for t in self._saved.values())
+        own = sum(t.nbytes for t in self._saved.values() if t is not None)
         return own + sum(s.saved_nbytes() for s in self._sublayers.values())
 
     def clear_saved(self) -> None:

@@ -52,9 +52,12 @@ class LSCrossEntropyLayer(Layer):
         cfg = self.config
         fn = (crit.criterion_backward_fused if cfg.fused
               else crit.criterion_backward_naive)
-        return fn(self.saved("q"), self._targets, self.epsilon,
+        q = self.saved("q")
+        # the (B, L, V) logit gradient is the step's largest activation:
+        # serve it straight from the threaded arena slab when available
+        return fn(q, self._targets, self.epsilon,
                   ignore_index=self.ignore_index, grad_scale=grad_scale,
-                  fp16=cfg.fp16)
+                  fp16=cfg.fp16, out=self._buf(q.shape, q.dtype))
 
     @property
     def last_num_tokens(self) -> int:

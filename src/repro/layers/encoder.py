@@ -101,7 +101,7 @@ class LSTransformerEncoderLayer(Layer):
                 zd, mask = ew.dropout_forward_naive(zb, p, self.rng,
                                                     fp16=cfg.fp16)
             else:
-                zd, mask = zb, np.ones(zb.shape, dtype=np.uint8)
+                zd, mask = zb, None    # p == 0: no mask materialised
             out = ew.residual_add_naive(zd, residual, fp16=cfg.fp16)
         self.save(**{f"{tag}_dmask": mask})
         return out

@@ -83,8 +83,8 @@ class FeedForward(Layer):
         self.w2.accumulate_grad(dw2)
 
         if fused:
-            mask = self.saved("mask") if self._had_mask else \
-                np.ones_like(pre, dtype=np.uint8)
+            # mask=None when dropout was off — no all-ones mask materialised
+            mask = self.saved("mask") if self._had_mask else None
             d_inner, db1 = ew.bias_act_dropout_backward(
                 d_hidden, mask, pre, p, activation=act, fp16=fp16)
         else:

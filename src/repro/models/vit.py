@@ -19,7 +19,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ..backend.kernels import elementwise as ew
-from ..backend.kernels import gemm, record
+from ..backend.kernels import gemm, out_buffer, record
 from ..config import LSConfig
 from ..layers import initializers as init
 from ..layers.base import Layer
@@ -88,7 +88,7 @@ class ViTModel(Layer):
         if p > 0:
             x, mask = ew.dropout_forward_naive(x, p, self.rng, fp16=cfg.fp16)
         else:
-            mask = np.ones(x.shape, dtype=np.uint8)
+            mask = None    # p == 0: no mask materialised
         record("vit_embed_posadd", x.size, x.size, flops=x.size,
                fp16=cfg.fp16)
         self.save(patches=patches, embed_dmask=mask)
@@ -120,7 +120,8 @@ class ViTModel(Layer):
             self.saved("cls"), self.head_w.compute(), d_logits,
             fp16=cfg.fp16, name="gemm_vit_head")
         self.head_w.accumulate_grad(dw_head)
-        d_x = np.zeros(self._seq_shape, dtype=np.float32)
+        d_x = out_buffer(None, self._seq_shape, np.float32)
+        d_x.fill(0.0)
         d_x[:, 0, :] = d_cls
         d_x = self._ln.backward(d_x, "final_ln")
         for layer in reversed(self.layers):

@@ -1,0 +1,231 @@
+"""ActivationArena: scan → reserve → bump-allocate life cycle (§3.3).
+
+Covers the dry-run shape scan (all misses, demand recorded), steady-state
+hits with zero new allocations, re-reservation when a batch outgrows the
+slab, lifetime-shared plan blocks, the thread-local installation used by
+``out_buffer``, and the allocation counters the benches assert on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backend.arena import ActivationArena, current_arena, use_arena
+from repro.backend.kernels import out_buffer
+from repro.backend.profiler import alloc_counters, reset_alloc_counters
+
+
+@pytest.fixture(autouse=True)
+def _fresh_counters():
+    reset_alloc_counters()
+    yield
+    reset_alloc_counters()
+
+
+class TestLifeCycle:
+    def test_first_step_is_the_scan(self):
+        arena = ActivationArena()
+        arena.begin_step()
+        assert arena.capacity == 0 and not arena.warmed_up
+        a = arena.request((8, 8))
+        b = arena.request((4,), np.float64)
+        assert a.shape == (8, 8) and a.dtype == np.float32
+        assert b.dtype == np.float64
+        c = alloc_counters()
+        assert c.arena_misses == 2 and c.arena_hits == 0
+        assert arena.demand > 0
+
+    def test_second_step_hits_from_the_slab(self):
+        arena = ActivationArena()
+        arena.begin_step()
+        arena.request((16, 16))
+        arena.begin_step()                      # reserves at scanned demand
+        assert arena.warmed_up and arena.reservations == 1
+        reset_alloc_counters()
+        x = arena.request((16, 16))
+        c = alloc_counters()
+        assert c.arena_hits == 1 and c.new_allocs == 0
+        # the buffer is a view into the slab, not an owning array
+        assert not x.flags.owndata
+
+    def test_same_offsets_reused_across_steps(self):
+        arena = ActivationArena()
+        arena.begin_step()
+        arena.request((8,))
+        arena.begin_step()
+        x1 = arena.request((8,))
+        arena.begin_step()
+        x2 = arena.request((8,))
+        assert x1.__array_interface__["data"][0] == \
+            x2.__array_interface__["data"][0]
+
+    def test_overflow_falls_back_then_regrows(self):
+        """A batch bigger than anything scanned: overflow requests miss
+        (correctness is preserved), the slab regrows next step."""
+        arena = ActivationArena()
+        arena.begin_step()
+        arena.request((8,))
+        arena.begin_step()
+        cap1 = arena.capacity
+        reset_alloc_counters()
+        big = arena.request((1024, 1024))       # way past the slab
+        assert big.flags.owndata                # fresh fallback
+        assert alloc_counters().arena_misses == 1
+        arena.begin_step()                      # re-reservation
+        assert arena.capacity > cap1 and arena.reservations == 2
+        reset_alloc_counters()
+        again = arena.request((1024, 1024))
+        assert alloc_counters().arena_hits == 1
+        assert not again.flags.owndata
+
+    def test_shrink_then_grow_keeps_peak(self):
+        """Capacity is the max over all scanned steps, so alternating
+        small/large batches never re-reserve after the peak is known."""
+        arena = ActivationArena()
+        for shape in ((32, 32), (4, 4), (32, 32), (4, 4)):
+            arena.begin_step()
+            arena.request(shape)
+        peak_cap = arena.capacity
+        reservations = arena.reservations
+        for shape in ((4, 4), (32, 32), (4, 4)):
+            arena.begin_step()
+            reset_alloc_counters()
+            arena.request(shape)
+            assert alloc_counters().new_allocs == 0
+        assert arena.capacity == peak_cap
+        assert arena.reservations == reservations
+
+    def test_zero_size_request(self):
+        arena = ActivationArena()
+        arena.begin_step()
+        z = arena.request((0, 5))
+        assert z.shape == (0, 5)
+
+
+class TestWrites:
+    def test_buffers_do_not_overlap_within_a_step(self):
+        arena = ActivationArena()
+        arena.begin_step()
+        arena.request((64,))
+        arena.request((64,))
+        arena.begin_step()
+        a = arena.request((64,))
+        b = arena.request((64,))
+        a[...] = 1.0
+        b[...] = 2.0
+        np.testing.assert_array_equal(a, 1.0)
+        np.testing.assert_array_equal(b, 2.0)
+
+    def test_dtype_views_are_aligned(self):
+        arena = ActivationArena()
+        arena.begin_step()
+        for dt in (np.float32, np.float64, np.uint8):
+            arena.request((3, 5), dt)
+        arena.begin_step()
+        for dt in (np.float32, np.float64, np.uint8):
+            v = arena.request((3, 5), dt)
+            assert v.__array_interface__["data"][0] % np.dtype(dt).itemsize \
+                == 0
+
+
+class TestPlan:
+    def test_disjoint_lifetimes_share_offsets(self):
+        arena = ActivationArena()
+        arena.begin_step()
+        entries = [("a", (64,), np.float32, 0, 2),
+                   ("b", (64,), np.float32, 2, 4)]
+        arena.request_plan(entries)
+        arena.begin_step()
+        bufs = arena.request_plan(entries)
+        addr = lambda t: t.__array_interface__["data"][0]  # noqa: E731
+        assert addr(bufs["a"]) == addr(bufs["b"])          # lifetime-shared
+
+    def test_overlapping_lifetimes_do_not_share(self):
+        arena = ActivationArena()
+        arena.begin_step()
+        entries = [("a", (64,), np.float32, 0, 3),
+                   ("b", (64,), np.float32, 2, 4)]
+        bufs = arena.request_plan(entries)
+        bufs["a"][...] = 1.0
+        bufs["b"][...] = 2.0
+        np.testing.assert_array_equal(bufs["a"], 1.0)
+        np.testing.assert_array_equal(bufs["b"], 2.0)
+
+    def test_plan_block_smaller_than_sum(self):
+        arena = ActivationArena()
+        arena.begin_step()
+        entries = [("a", (1024,), np.float32, 0, 2),
+                   ("b", (1024,), np.float32, 2, 4),
+                   ("c", (1024,), np.float32, 1, 3)]
+        arena.request_plan(entries)
+        total = arena.demand
+        assert total < 3 * 1024 * 4 + 1024   # a and b share one slot
+
+    def test_plan_steady_state_is_alloc_free(self):
+        arena = ActivationArena()
+        entries = [("a", (16, 16), np.float32, 0, 2),
+                   ("b", (16, 16), np.float32, 2, 4)]
+        arena.begin_step()
+        arena.request_plan(entries)
+        arena.begin_step()
+        reset_alloc_counters()
+        arena.request_plan(entries)
+        assert alloc_counters().new_allocs == 0
+
+
+class TestInstallation:
+    def test_step_installs_current_arena(self):
+        arena = ActivationArena()
+        assert current_arena() is None
+        with arena.step():
+            assert current_arena() is arena
+            with use_arena(ActivationArena()) as inner:
+                assert current_arena() is inner
+            assert current_arena() is arena
+        assert current_arena() is None
+
+    def test_out_buffer_funnel(self):
+        """out_buffer: explicit out= wins, then the installed arena, then a
+        counted fresh allocation."""
+        arena = ActivationArena()
+        with arena.step():
+            explicit = np.empty((4,), np.float32)
+            assert out_buffer(explicit, (4,), np.float32) is explicit
+            reset_alloc_counters()
+            out_buffer(None, (4,), np.float32)
+            assert alloc_counters().arena_misses == 1   # scan step
+        reset_alloc_counters()
+        fresh = out_buffer(None, (4,), np.float32)
+        assert fresh.flags.owndata
+        c = alloc_counters()
+        assert c.fresh == 1 and c.fresh_bytes == 16
+
+    def test_out_buffer_validates_shape_and_dtype(self):
+        buf = np.empty((4, 4), np.float32)
+        with pytest.raises(ValueError):
+            out_buffer(buf, (4, 5), np.float32)
+        with pytest.raises(ValueError):
+            out_buffer(buf, (4, 4), np.float64)
+
+    def test_scan_prewarms(self):
+        arena = ActivationArena()
+
+        def step_fn(shape):
+            arena.request(shape)
+
+        arena.scan(step_fn, [(8, 8), (16, 16), (4, 4)])
+        assert arena.warmed_up and arena.steps == 3
+        with arena.step():
+            reset_alloc_counters()
+            arena.request((16, 16))
+            assert alloc_counters().new_allocs == 0
+
+
+class TestCounters:
+    def test_snapshot_and_since(self):
+        reset_alloc_counters()
+        out_buffer(None, (8,), np.float32)
+        base = alloc_counters().snapshot()
+        out_buffer(None, (8,), np.float32)
+        delta = alloc_counters().since(base)
+        assert delta.fresh == 1 and delta.fresh_bytes == 32
+        assert delta.new_allocs == 1

@@ -20,7 +20,10 @@ def test_dropout_zero_p_identity(rng):
     x = rng.standard_normal((10, 4)).astype(np.float32)
     y, mask = ew.dropout_forward_naive(x, 0.0, rng)
     np.testing.assert_array_equal(y, x)
-    assert mask.all()
+    # p == 0 materialises no mask at all (and backward passes through)
+    assert mask is None
+    dx = ew.dropout_backward_naive(y, mask, 0.0)
+    np.testing.assert_array_equal(dx, x)
 
 
 def test_dropout_inverted_scaling(rng):

@@ -167,7 +167,13 @@ class TestFusedSoftmaxDropout:
         dropped, probs, dmask = smx.attn_softmax_dropout_forward_fused(
             scores, 1.0, None, 0.0, rng)
         np.testing.assert_array_equal(dropped, probs)
-        assert dmask.all()
+        # p == 0 materialises no mask; backward passes dy straight through
+        assert dmask is None
+        dy = rng.standard_normal(scores.shape).astype(np.float32)
+        d_off = smx.attn_softmax_dropout_backward_fused(
+            dy, probs, None, 1.0, 0.0)
+        d_ref = smx.attn_softmax_backward_fused(dy, probs, 1.0)
+        np.testing.assert_array_equal(d_off, d_ref)
 
     def test_single_launch_each_way(self, rng):
         from repro.backend.device import Device, use_device
