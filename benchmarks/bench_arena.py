@@ -26,15 +26,19 @@ Run directly for a human-readable report::
     PYTHONPATH=src python benchmarks/bench_arena.py
 """
 
+import sys
 import time
 
 import numpy as np
 import pytest
 
 from repro.backend.arena import ActivationArena
-from repro.backend.profiler import alloc_counters, reset_alloc_counters
+from repro.backend.device import Device, use_device
+from repro.backend.profiler import (alloc_counters, compare,
+                                    reset_alloc_counters)
 from repro.config import get_config
 from repro.layers.encoder import LSTransformerEncoderLayer
+from repro.obs.runrecord import make_run_record, write_run_record
 
 #: fresh may beat arena by at most this factor before we call it a
 #: regression.  The two paths are at parity on CPU, but shared CI runners
@@ -93,9 +97,21 @@ def _time_chunk(one_step):
     return (time.perf_counter() - t0) / _STEPS
 
 
+def _step_trace(one_step):
+    """One step's kernel trace (the paths must differ only in allocation)."""
+    dev = Device()
+    with use_device(dev):
+        one_step()
+    return dev.launches
+
+
 def run_comparison():
     fresh_step, fresh_c = _prepare(arena_backed=False)
     arena_step, arena_c = _prepare(arena_backed=True)
+    # the arena must change *where* outputs live, never the kernel
+    # structure: compare() raises ValueError on an empty baseline (tracing
+    # off), which would mean this check silently checked nothing.
+    trace_diff = compare(_step_trace(fresh_step), _step_trace(arena_step))
     # interleave the timed chunks, alternating which path leads each pair,
     # so machine-load and warm-up drift hit both paths symmetrically
     fresh_s = arena_s = float("inf")
@@ -116,7 +132,23 @@ def run_comparison():
         "fresh_alloc_mb_per_step": fresh_c.new_alloc_bytes / 1e6,
         "arena_allocs_per_step": arena_c.new_allocs,
         "arena_hits_per_step": arena_c.arena_hits,
+        "launch_ratio": trace_diff.launch_ratio,
     }
+
+
+def run_record(results=None):
+    """The bench as a ``BENCH_arena.json`` run record (§3.3 gate counters)."""
+    r = results or run_comparison()
+    return make_run_record(
+        "arena",
+        counters={k: r[k] for k in
+                  ("arena_allocs_per_step", "arena_hits_per_step",
+                   "fresh_allocs_per_step", "fresh_alloc_mb_per_step",
+                   "launch_ratio")},
+        stage_seconds={"fresh_step": r["fresh_ms"] / 1e3,
+                       "arena_step": r["arena_ms"] / 1e3},
+        notes="encoder-layer fwd+bwd step, arena vs fresh allocation; "
+              "the acceptance gate is arena_allocs_per_step == 0")
 
 
 @pytest.mark.benchmark(group="arena-step")
@@ -140,20 +172,37 @@ def test_encoder_step_arena(benchmark):
     benchmark(run)
 
 
-def test_arena_smoke():
-    """CI gate: zero steady-state allocations AND no wallclock regression."""
+def test_arena_smoke(tmp_path):
+    """CI gate: zero steady-state allocations AND no wallclock regression,
+    with the zero-alloc counter captured in the emitted run record."""
     r = run_comparison()
     assert r["arena_allocs_per_step"] == 0, (
         f"arena step still allocates after warm-up: "
         f"{r['arena_allocs_per_step']} buffers")
     assert r["arena_hits_per_step"] > 0
     assert r["fresh_allocs_per_step"] > 0      # the baseline really churns
+    assert r["launch_ratio"] == 1.0            # arena never changes kernels
     assert r["arena_ms"] <= r["fresh_ms"] * _WALLCLOCK_TOLERANCE, (
         f"arena step slower than fresh: {r['arena_ms']:.2f} ms vs "
         f"{r['fresh_ms']:.2f} ms")
+    # the run record must carry the zero-steady-state-alloc counter
+    from repro.obs.runrecord import load_run_record
+    path = tmp_path / "BENCH_arena.json"
+    write_run_record(str(path), run_record(r))
+    rec = load_run_record(str(path))
+    assert rec["counters"]["arena_allocs_per_step"] == 0
 
 
-def main():
+def main(argv=None):
+    argv = sys.argv[1:] if argv is None else argv
+    record_path = None
+    if "--record" in argv:
+        i = argv.index("--record")
+        try:
+            record_path = argv[i + 1]
+        except IndexError:
+            print("--record needs a file path")
+            return 2
     r = run_comparison()
     print("encoder-layer fwd+bwd step (fused, hidden 256, batch 8x64)")
     print(f"  fresh : {r['fresh_ms']:7.2f} ms/step, "
@@ -162,8 +211,13 @@ def main():
     print(f"  arena : {r['arena_ms']:7.2f} ms/step, "
           f"{r['arena_allocs_per_step']:3d} allocs per step "
           f"({r['arena_hits_per_step']} slab hits)")
-    print(f"  speedup: {r['speedup']:.2f}x")
+    print(f"  speedup: {r['speedup']:.2f}x "
+          f"(launch ratio {r['launch_ratio']:.2f})")
+    if record_path:
+        write_run_record(record_path, run_record(r))
+        print(f"  run record written to {record_path}")
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

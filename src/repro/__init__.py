@@ -22,11 +22,25 @@ Quick start (mirrors Fig. 10 of the paper)::
     enc_layer = LSTransformerEncoderLayer(config)
 """
 
+from .backend.profiler import (alloc_counters, by_stage,
+                               reset_alloc_counters)
 from .config import LSConfig, get_config
 from .layers.criterion import LSCrossEntropyLayer
 from .layers.decoder import LSTransformerDecoderLayer
 from .layers.embedding import LSEmbeddingLayer
 from .layers.encoder import LSTransformerEncoderLayer
+from .obs import (MetricsRecorder, SpanRecorder, perfetto_trace, span,
+                  use_recorder, write_trace)
+
+
+def __getattr__(name):
+    # kept lazy so `python -m repro.obs.summarize` doesn't import the
+    # module it is about to execute (see repro/obs/__init__.py)
+    if name == "summarize_run_records":
+        from .obs import summarize_run_records
+        return summarize_run_records
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __version__ = "1.0.0"
 
@@ -37,5 +51,16 @@ __all__ = [
     "LSTransformerDecoderLayer",
     "LSEmbeddingLayer",
     "LSCrossEntropyLayer",
+    # profiler / observability surface
+    "alloc_counters",
+    "reset_alloc_counters",
+    "by_stage",
+    "span",
+    "use_recorder",
+    "SpanRecorder",
+    "MetricsRecorder",
+    "perfetto_trace",
+    "write_trace",
+    "summarize_run_records",
     "__version__",
 ]

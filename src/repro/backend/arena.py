@@ -101,11 +101,15 @@ class ActivationArena:
 
     def _reserve(self, nbytes: int) -> None:
         # a re-reservation is a teardown + fresh reserve: the allocator
-        # keeps its one-shot reserve semantics (and records the mem event)
-        self._alloc = StaticPlanAllocator(self._device)
-        self._alloc.reserve(nbytes)
-        self._slab = np.empty(self._alloc.reserved_bytes, dtype=np.uint8)
-        self.reservations += 1
+        # keeps its one-shot reserve semantics (and records the mem event).
+        # span import is deferred: backend.kernels imports this module
+        # during package init, before repro.obs can finish loading.
+        from ..obs.spans import span
+        with span("arena/reserve"):
+            self._alloc = StaticPlanAllocator(self._device)
+            self._alloc.reserve(nbytes)
+            self._slab = np.empty(self._alloc.reserved_bytes, dtype=np.uint8)
+            self.reservations += 1
 
     def begin_step(self) -> None:
         """Start a step: rewind the bump cursor, re-reserving on growth."""

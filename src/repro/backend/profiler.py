@@ -188,6 +188,12 @@ def compare(baseline: Iterable[KernelLaunch],
     Ratios are optimized/baseline, so fusion should drive ``launch_ratio``
     and ``bytes_ratio`` well below 1 while ``flops_ratio`` stays ≈1 (fusion
     removes traffic and launches, not arithmetic).
+
+    Raises :class:`ValueError` on an empty baseline trace — every ratio
+    would be undefined, and an empty baseline almost always means the
+    device's tracing was disabled (or the wrong device was active) when
+    the baseline ran, which the caller should hear about rather than get
+    NaNs.
     """
     def _tot(tr):
         launches = bytes_ = flops = 0
@@ -199,8 +205,19 @@ def compare(baseline: Iterable[KernelLaunch],
 
     bl, bb, bf = _tot(baseline)
     ol, ob, of = _tot(optimized)
+    if bl == 0:
+        raise ValueError(
+            "compare() needs a non-empty baseline trace: ratios against an "
+            "empty baseline are undefined (was tracing disabled, or no "
+            "device active, when the baseline was recorded?)")
+
+    def _ratio(num: float, den: float) -> float:
+        if den == 0:
+            return 1.0 if num == 0 else float("inf")
+        return num / den
+
     return TraceDiff(
-        launch_ratio=ol / bl if bl else float("nan"),
-        bytes_ratio=ob / bb if bb else float("nan"),
-        flops_ratio=of / bf if bf else float("nan"),
+        launch_ratio=ol / bl,
+        bytes_ratio=_ratio(ob, bb),
+        flops_ratio=_ratio(of, bf),
     )

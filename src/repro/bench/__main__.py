@@ -6,10 +6,12 @@ Usage::
     python -m repro.bench fig09 fig13     # a subset
     REPRO_BENCH_SCALE=paper python -m repro.bench   # paper-sized models
     python -m repro.bench --report EXPERIMENTS.md   # write the report
+    python -m repro.bench --record-dir .  # write BENCH_<name>.json records
 """
 
 from __future__ import annotations
 
+import os
 import sys
 import time
 
@@ -17,16 +19,28 @@ from .figures import ALL_EXPERIMENTS
 from .harness import bench_scale
 
 
+def _take_flag(argv: list[str], flag: str) -> tuple[list[str], str | None]:
+    if flag not in argv:
+        return argv, None
+    i = argv.index(flag)
+    try:
+        value = argv[i + 1]
+    except IndexError:
+        return argv, ""
+    return argv[:i] + argv[i + 2:], value
+
+
 def main(argv: list[str]) -> int:
-    report_path = None
-    if "--report" in argv:
-        i = argv.index("--report")
-        try:
-            report_path = argv[i + 1]
-        except IndexError:
-            print("--report needs a file path")
-            return 2
-        argv = argv[:i] + argv[i + 2:]
+    argv, report_path = _take_flag(argv, "--report")
+    if report_path == "":
+        print("--report needs a file path")
+        return 2
+    argv, record_dir = _take_flag(argv, "--record-dir")
+    if record_dir == "":
+        print("--record-dir needs a directory")
+        return 2
+    if record_dir:
+        os.makedirs(record_dir, exist_ok=True)
     names = [a for a in argv if not a.startswith("-")]
     unknown = [n for n in names if n not in ALL_EXPERIMENTS]
     if unknown:
@@ -48,6 +62,13 @@ def main(argv: list[str]) -> int:
         failed += len(result.failed_claims())
         done_names.append(name)
         done_results.append(result)
+        if record_dir:
+            from repro.obs.runrecord import (bench_record_path,
+                                             write_run_record)
+            path = bench_record_path(record_dir, name)
+            write_run_record(path, result.to_run_record(
+                name, scale=scale, elapsed_s=dt))
+            print(f"run record written to {path}\n")
     if report_path:
         from .report import write_report
         write_report(done_results, done_names, report_path, scale)

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Any, List, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 
 @dataclass
@@ -71,6 +71,37 @@ class ExperimentResult:
         for c in self.claims:
             lines.append(str(c))
         return "\n".join(lines)
+
+    def to_run_record(self, slug: str, *, scale: Optional[str] = None,
+                      elapsed_s: Optional[float] = None,
+                      counters: Optional[Dict[str, float]] = None
+                      ) -> Dict[str, Any]:
+        """This experiment as a structured ``BENCH_*.json`` run record.
+
+        The record carries the full result table, every claim outcome,
+        and any extra ``counters`` the bench measured — the machine-
+        readable twin of :meth:`format` that
+        ``python -m repro.obs.summarize`` can diff across runs.
+        """
+        from ..obs.runrecord import make_run_record
+        cfg: Dict[str, Any] = {}
+        if scale is not None:
+            cfg["scale"] = scale
+        ctr = dict(counters or {})
+        if elapsed_s is not None:
+            ctr["elapsed_s"] = float(elapsed_s)
+        ctr["claims_checked"] = len(self.claims)
+        ctr["claims_failed"] = len(self.failed_claims())
+        return make_run_record(
+            slug,
+            headers=self.headers,
+            rows=self.rows,
+            claims=[{"description": c.description, "holds": c.holds,
+                     "detail": c.detail} for c in self.claims],
+            counters=ctr,
+            config=cfg or None,
+            notes=self.notes or self.name,
+        )
 
 
 def bench_scale(default: str = "quick") -> str:

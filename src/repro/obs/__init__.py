@@ -1,0 +1,54 @@
+"""Observability: the training flight recorder.
+
+Every time-and-memory claim in this reproduction (Fig. 4 stage splits,
+Fig. 11 hidden-vs-exposed comm, §3.2 trainer-time reduction, §3.3
+steady-state allocations) flows through this zero-dependency subsystem
+instead of ad-hoc printouts:
+
+* :mod:`~repro.obs.spans` — nestable, thread-safe ``span("fwd/encoder")``
+  context managers capturing wall-clock plus kernel-launch and
+  allocation-counter deltas, threaded through the training loop, the
+  trainers, data-parallel sync, and the activation arena.
+* :mod:`~repro.obs.metrics` — a per-step :class:`MetricsRecorder`
+  appending loss / tokens-per-second / loss-scale / skip events /
+  allocation deltas / arena and comm statistics to one-object-per-line
+  JSONL.
+* :mod:`~repro.obs.perfetto` — exporters rendering spans, the
+  :class:`~repro.backend.device.Device` kernel trace, stage scopes, and
+  the :mod:`repro.sim.timeline` two-stream overlap schedule as a
+  Chrome/Perfetto ``trace_event`` JSON (open at https://ui.perfetto.dev).
+* :mod:`~repro.obs.runrecord` — the structured ``BENCH_*.json`` run
+  records every bench emits.
+* :mod:`~repro.obs.summarize` — ``python -m repro.obs.summarize A B``
+  diffs two run records and prints per-stage regressions.
+
+With no recorder installed every hook is a near-free no-op, so the
+instrumentation can stay permanently threaded through the hot paths.
+"""
+
+from .metrics import MetricsRecorder, StepMetrics, read_jsonl
+from .perfetto import (kernel_events, perfetto_trace, schedule_events,
+                       span_events, write_trace)
+from .runrecord import (RUN_RECORD_SCHEMA, bench_record_path,
+                        load_run_record, make_run_record, write_run_record)
+from .spans import Span, SpanRecorder, current_recorder, span, use_recorder
+
+
+def __getattr__(name):
+    # lazy: `python -m repro.obs.summarize` re-executes the module as
+    # __main__, and an eager import here would leave a second copy in
+    # sys.modules (runpy prints a RuntimeWarning about exactly that).
+    if name == "summarize_run_records":
+        from .summarize import summarize_run_records
+        return summarize_run_records
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "Span", "SpanRecorder", "current_recorder", "span", "use_recorder",
+    "MetricsRecorder", "StepMetrics", "read_jsonl",
+    "kernel_events", "perfetto_trace", "schedule_events", "span_events",
+    "write_trace",
+    "RUN_RECORD_SCHEMA", "bench_record_path", "load_run_record",
+    "make_run_record", "write_run_record",
+    "summarize_run_records",
+]

@@ -1,0 +1,167 @@
+"""Per-step metrics sink: append-only JSONL run telemetry.
+
+A :class:`MetricsRecorder` turns each optimisation step into one
+:class:`StepMetrics` record — loss, token throughput, loss-scale value and
+overflow/skip events, :class:`~repro.backend.profiler.AllocCounters`
+deltas, arena hit/miss/re-reservation statistics, and the hidden-vs-exposed
+communication split from the two-stream overlap schedule — and appends it
+as one JSON object per line.  JSONL (not one big array) so a crashed or
+interrupted run still leaves every completed step parseable, and so two
+runs into the same file remain an append-only trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional
+
+from ..backend.profiler import alloc_counters
+
+
+@dataclass
+class StepMetrics:
+    """One optimisation step's machine-readable record."""
+
+    step: int
+    loss: float
+    num_tokens: int
+    wall_s: float
+    applied: bool = True            # False = loss-scaler skipped the update
+    overflow: bool = False
+    loss_scale: Optional[float] = None
+    skipped_total: int = 0          # cumulative scaler skips so far
+    # allocation-counter deltas for this step (§3.3 instrumentation)
+    new_allocs: int = 0
+    new_alloc_bytes: int = 0
+    arena_hits: int = 0
+    arena_misses: int = 0
+    # arena state (cumulative — re-reservations are the Fig.-16 growth steps)
+    arena_reservations: int = 0
+    arena_capacity_bytes: int = 0
+    # two-stream comm split (seconds; zero on single-device runs)
+    comm_hidden_s: float = 0.0
+    comm_exposed_s: float = 0.0
+
+    @property
+    def loss_per_token(self) -> float:
+        return self.loss / max(self.num_tokens, 1)
+
+    @property
+    def tokens_per_s(self) -> float:
+        return self.num_tokens / self.wall_s if self.wall_s > 0 else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        d = asdict(self)
+        d["loss_per_token"] = self.loss_per_token
+        d["tokens_per_s"] = self.tokens_per_s
+        return d
+
+
+class MetricsRecorder:
+    """Accumulates :class:`StepMetrics`; optionally streams them to JSONL.
+
+    With ``path`` set, every observed step is appended to the file
+    immediately (append-only, one object per line); without it the records
+    stay in memory until :meth:`write_jsonl`.
+    """
+
+    def __init__(self, path: Optional[str] = None):
+        self.path = path
+        self.records: List[StepMetrics] = []
+        self._lock = threading.Lock()
+        self._alloc_base = alloc_counters().snapshot()
+
+    @property
+    def steps(self) -> int:
+        return len(self.records)
+
+    def observe_step(self, step: int, loss: float, num_tokens: int,
+                     wall_s: float, *, applied: bool = True,
+                     scaler: Optional[object] = None,
+                     arena: Optional[object] = None,
+                     comm: Optional[object] = None) -> StepMetrics:
+        """Record one step.
+
+        ``scaler`` (any loss scaler) contributes ``loss_scale`` and the
+        cumulative overflow count; ``arena`` (an
+        :class:`~repro.backend.arena.ActivationArena`) contributes
+        reservation statistics; ``comm`` is a
+        :class:`~repro.sim.timeline.BucketSchedule` (or anything with
+        ``hidden_s``/``exposed_s``) contributing the comm split.  The
+        allocation-counter delta is measured since the previous observed
+        step (or recorder construction).
+        """
+        with self._lock:
+            delta = alloc_counters().since(self._alloc_base)
+            self._alloc_base = alloc_counters().snapshot()
+            rec = StepMetrics(
+                step=step, loss=float(loss), num_tokens=int(num_tokens),
+                wall_s=float(wall_s), applied=bool(applied),
+                overflow=not applied,
+                loss_scale=(float(scaler.scale) if scaler is not None
+                            else None),
+                skipped_total=(int(getattr(scaler, "overflows", 0))
+                               if scaler is not None else 0),
+                new_allocs=delta.new_allocs,
+                new_alloc_bytes=delta.new_alloc_bytes,
+                arena_hits=delta.arena_hits,
+                arena_misses=delta.arena_misses,
+                arena_reservations=(int(arena.reservations)
+                                    if arena is not None else 0),
+                arena_capacity_bytes=(int(arena.capacity)
+                                      if arena is not None else 0),
+                comm_hidden_s=(float(comm.hidden_s)
+                               if comm is not None else 0.0),
+                comm_exposed_s=(float(comm.exposed_s)
+                                if comm is not None else 0.0),
+            )
+            self.records.append(rec)
+            if self.path:
+                with open(self.path, "a") as f:
+                    f.write(json.dumps(rec.as_dict()) + "\n")
+        return rec
+
+    def write_jsonl(self, path: str) -> None:
+        """Append every in-memory record to ``path`` (one object/line)."""
+        with open(path, "a") as f:
+            for rec in self.records:
+                f.write(json.dumps(rec.as_dict()) + "\n")
+
+    def summary(self) -> Dict[str, float]:
+        """Aggregates for run records: mean loss/token, tokens/s, skips."""
+        if not self.records:
+            return {"steps": 0}
+        tokens = sum(r.num_tokens for r in self.records)
+        wall = sum(r.wall_s for r in self.records)
+        return {
+            "steps": len(self.records),
+            "total_tokens": tokens,
+            "total_wall_s": wall,
+            "mean_loss_per_token": (sum(r.loss for r in self.records)
+                                    / max(tokens, 1)),
+            "tokens_per_s": tokens / wall if wall > 0 else 0.0,
+            "skipped_steps": sum(1 for r in self.records if not r.applied),
+            "new_allocs": sum(r.new_allocs for r in self.records),
+            "arena_hits": sum(r.arena_hits for r in self.records),
+            "comm_hidden_s": sum(r.comm_hidden_s for r in self.records),
+            "comm_exposed_s": sum(r.comm_exposed_s for r in self.records),
+        }
+
+
+def read_jsonl(path: str) -> List[Dict[str, object]]:
+    """Parse a metrics JSONL file back into one dict per step."""
+    out: List[Dict[str, object]] = []
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                out.append(json.loads(line))
+            except json.JSONDecodeError as e:
+                raise ValueError(
+                    f"{path}:{lineno}: not one-JSON-object-per-line "
+                    f"({e})") from e
+    return out

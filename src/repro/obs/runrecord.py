@@ -1,0 +1,99 @@
+"""Structured run records: the machine-readable ``BENCH_*.json`` files.
+
+Every bench (and any traced training run) can emit one run record — a
+plain JSON document with a fixed envelope (schema tag, name, environment)
+and free-form sections: per-stage seconds, named counters, the result
+table, claim outcomes, and per-step metrics.  Records are what
+:mod:`repro.obs.summarize` diffs, so perf claims are regression-gated
+against a captured baseline instead of re-derived by hand.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+from typing import Dict, List, Optional, Sequence
+
+RUN_RECORD_SCHEMA = "repro.obs.run_record/v1"
+
+
+def make_run_record(name: str, *,
+                    stage_seconds: Optional[Dict[str, float]] = None,
+                    counters: Optional[Dict[str, float]] = None,
+                    metrics: Optional[Sequence[Dict[str, object]]] = None,
+                    headers: Optional[Sequence[str]] = None,
+                    rows: Optional[Sequence[Sequence[object]]] = None,
+                    claims: Optional[Sequence[Dict[str, object]]] = None,
+                    config: Optional[Dict[str, object]] = None,
+                    notes: str = "") -> Dict[str, object]:
+    """Build a run-record dict (everything beyond ``name`` is optional)."""
+    record: Dict[str, object] = {
+        "schema": RUN_RECORD_SCHEMA,
+        "name": name,
+        "environment": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+    }
+    if stage_seconds is not None:
+        record["stage_seconds"] = {k: float(v)
+                                   for k, v in stage_seconds.items()}
+    if counters is not None:
+        record["counters"] = dict(counters)
+    if metrics is not None:
+        record["metrics"] = [dict(m) for m in metrics]
+    if headers is not None and rows is not None:
+        record["table"] = {"headers": list(headers),
+                           "rows": [list(r) for r in rows]}
+    if claims is not None:
+        record["claims"] = [dict(c) for c in claims]
+    if config is not None:
+        record["config"] = dict(config)
+    if notes:
+        record["notes"] = notes
+    return record
+
+
+def _coerce(obj: object) -> object:
+    # numpy scalars leak into bench result rows; .item() unwraps them
+    if hasattr(obj, "item"):
+        return obj.item()
+    raise TypeError(f"not JSON-serializable: {type(obj).__name__}")
+
+
+def write_run_record(path: str, record: Dict[str, object]) -> None:
+    """Write one run record as pretty-printed JSON."""
+    if record.get("schema") != RUN_RECORD_SCHEMA:
+        raise ValueError(f"not a run record (schema={record.get('schema')!r};"
+                         f" build one with make_run_record)")
+    with open(path, "w") as f:
+        json.dump(record, f, indent=2, sort_keys=True, default=_coerce)
+        f.write("\n")
+
+
+def load_run_record(path: str) -> Dict[str, object]:
+    """Load and schema-check a run record."""
+    with open(path) as f:
+        record = json.load(f)
+    schema = record.get("schema") if isinstance(record, dict) else None
+    if schema != RUN_RECORD_SCHEMA:
+        raise ValueError(
+            f"{path}: not a {RUN_RECORD_SCHEMA} run record (schema="
+            f"{schema!r})")
+    return record
+
+
+def bench_record_path(directory: str, name: str) -> str:
+    """The canonical ``BENCH_<name>.json`` path for a bench run record."""
+    return os.path.join(directory, f"BENCH_{name}.json")
+
+
+def list_bench_records(directory: str) -> List[str]:
+    """All ``BENCH_*.json`` run-record paths under ``directory``, sorted."""
+    try:
+        entries = sorted(os.listdir(directory))
+    except FileNotFoundError:
+        return []
+    return [os.path.join(directory, e) for e in entries
+            if e.startswith("BENCH_") and e.endswith(".json")]

@@ -1,0 +1,148 @@
+"""Diff two run records and print per-stage regressions.
+
+Entry point::
+
+    PYTHONPATH=src python -m repro.obs.summarize BASELINE.json CURRENT.json
+
+Compares every shared section of two :mod:`repro.obs.runrecord` documents:
+per-stage seconds (flagging stages that slowed down past the threshold),
+named counters (flagging any counter that grew), and the aggregate step
+metrics (throughput, skip counts).  Exits non-zero when a regression is
+found, so the diff doubles as a CI gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Tuple
+
+from .runrecord import load_run_record
+
+#: counters where *any* growth is a regression (lower is better).
+_LOWER_IS_BETTER = ("alloc", "miss", "exposed", "skip", "launch", "bytes",
+                    "reservation")
+
+
+def _ratio(current: float, baseline: float) -> float:
+    """current/baseline with explicit empty-baseline handling."""
+    if baseline == 0:
+        return 1.0 if current == 0 else float("inf")
+    return current / baseline
+
+
+def diff_stages(baseline: Dict[str, float], current: Dict[str, float], *,
+                threshold: float = 0.05
+                ) -> List[Tuple[str, float, float, float, bool]]:
+    """Rows of (stage, base_s, cur_s, ratio, regressed) for shared stages."""
+    if not baseline:
+        raise ValueError(
+            "baseline run record has an empty stage_seconds section — "
+            "nothing to diff against (was it produced by an older run?)")
+    rows = []
+    for stage in baseline:
+        base = float(baseline[stage])
+        cur = float(current.get(stage, 0.0))
+        ratio = _ratio(cur, base)
+        rows.append((stage, base, cur, ratio, ratio > 1.0 + threshold))
+    return rows
+
+
+def summarize_run_records(baseline: Dict[str, object],
+                          current: Dict[str, object], *,
+                          threshold: float = 0.05
+                          ) -> Tuple[str, int]:
+    """Human-readable diff of two run records.
+
+    Returns ``(report_text, regression_count)``.
+    """
+    lines = [f"run-record diff: {baseline.get('name')} (baseline) vs "
+             f"{current.get('name')} (current), "
+             f"threshold {threshold:.0%}"]
+    regressions = 0
+
+    b_stages = baseline.get("stage_seconds")
+    c_stages = current.get("stage_seconds")
+    if b_stages and c_stages is not None:
+        lines.append(f"  {'stage':<12}{'baseline ms':>14}{'current ms':>14}"
+                     f"{'ratio':>8}")
+        for stage, base, cur, ratio, bad in diff_stages(
+                b_stages, c_stages, threshold=threshold):
+            flag = "  REGRESSION" if bad else ""
+            lines.append(f"  {stage:<12}{base * 1e3:>14.3f}{cur * 1e3:>14.3f}"
+                         f"{ratio:>8.3f}{flag}")
+            regressions += bad
+
+    b_counters = baseline.get("counters") or {}
+    c_counters = current.get("counters") or {}
+    shared = sorted(set(b_counters) & set(c_counters))
+    if shared:
+        lines.append("  counters:")
+        for key in shared:
+            base, cur = float(b_counters[key]), float(c_counters[key])
+            worse = (cur > base
+                     and any(tok in key.lower()
+                             for tok in _LOWER_IS_BETTER))
+            flag = "  REGRESSION" if worse else ""
+            lines.append(f"    {key:<32}{base:>14g} -> {cur:<14g}{flag}")
+            regressions += worse
+
+    b_sum = _metrics_summary(baseline)
+    c_sum = _metrics_summary(current)
+    if b_sum and c_sum:
+        lines.append("  step metrics:")
+        for key in ("tokens_per_s", "mean_loss_per_token", "skipped_steps",
+                    "new_allocs", "comm_exposed_s"):
+            if key in b_sum and key in c_sum:
+                lines.append(f"    {key:<32}{b_sum[key]:>14g} -> "
+                             f"{c_sum[key]:<14g}")
+
+    if regressions:
+        lines.append(f"  {regressions} regression(s) past the "
+                     f"{threshold:.0%} threshold")
+    else:
+        lines.append("  no regressions")
+    return "\n".join(lines), regressions
+
+
+def _metrics_summary(record: Dict[str, object]) -> Optional[Dict[str, float]]:
+    metrics = record.get("metrics")
+    if not metrics:
+        return None
+    tokens = sum(int(m.get("num_tokens", 0)) for m in metrics)
+    wall = sum(float(m.get("wall_s", 0.0)) for m in metrics)
+    return {
+        "tokens_per_s": tokens / wall if wall > 0 else 0.0,
+        "mean_loss_per_token": (sum(float(m.get("loss", 0.0))
+                                    for m in metrics) / max(tokens, 1)),
+        "skipped_steps": sum(1 for m in metrics if not m.get("applied", True)),
+        "new_allocs": sum(int(m.get("new_allocs", 0)) for m in metrics),
+        "comm_exposed_s": sum(float(m.get("comm_exposed_s", 0.0))
+                              for m in metrics),
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    p = argparse.ArgumentParser(
+        prog="python -m repro.obs.summarize",
+        description="Diff two run records and flag per-stage regressions.")
+    p.add_argument("baseline", help="baseline run-record JSON")
+    p.add_argument("current", help="current run-record JSON")
+    p.add_argument("--threshold", type=float, default=0.05,
+                   help="relative slowdown tolerated per stage "
+                        "(default 0.05)")
+    args = p.parse_args(argv)
+    try:
+        baseline = load_run_record(args.baseline)
+        current = load_run_record(args.current)
+        report, regressions = summarize_run_records(
+            baseline, current, threshold=args.threshold)
+    except (OSError, ValueError) as e:
+        print(f"error: {e}")
+        return 2
+    print(report)
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -96,6 +96,12 @@ class BucketSchedule:
         """Comm time overlapped with (hidden behind) backward compute."""
         return max(0.0, self.comm_total_s - self.exposed_s)
 
+    def slices(self) -> List[Tuple[str, float, float]]:
+        """(label, start_s, finish_s) per bucket, in launch order — the
+        comm-stream slices consumed by the Perfetto exporter."""
+        return [(f"bucket{i}/allreduce", s, f)
+                for i, (s, f) in enumerate(zip(self.start_s, self.finish_s))]
+
 
 def bucket_ready_times(buckets: Sequence[GradBucket],
                        backward_s: float) -> List[float]:

@@ -18,12 +18,15 @@ from __future__ import annotations
 
 import argparse
 import time
+from contextlib import nullcontext
 from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .backend.device import Device, use_device
+from .backend.device import Device, KernelLaunch, use_device
 from .config import LSConfig, get_config
+from .obs import (MetricsRecorder, SpanRecorder, perfetto_trace,
+                  use_recorder, write_trace)
 from .data import (SyntheticLMCorpus, SyntheticTranslationCorpus,
                    batch_by_tokens, synthetic_images,
                    synthetic_sentence_pairs)
@@ -70,6 +73,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write a checkpoint here after training")
     p.add_argument("--resume", action="store_true",
                    help="load the checkpoint from --save-dir first")
+    p.add_argument("--trace-out", default=None, metavar="PATH",
+                   help="write a Chrome/Perfetto trace JSON of the run "
+                        "(host spans + simulated kernel slices)")
+    p.add_argument("--metrics-out", default=None, metavar="PATH",
+                   help="append per-step metrics (loss, tokens/s, "
+                        "loss-scale, alloc counters) as JSONL")
     return p
 
 
@@ -160,17 +169,30 @@ def main(argv: Optional[List[str]] = None) -> int:
           f"fp16={cfg.fp16} fused={cfg.fused}")
 
     dev = Device(lib=lib)
+    recorder = SpanRecorder() if args.trace_out else None
+    metrics = (MetricsRecorder(path=args.metrics_out)
+               if args.metrics_out else None)
+    kept_launches: List[KernelLaunch] = []
     window_loss = window_tokens = 0
     window_t0 = time.perf_counter()
-    with use_device(dev):
+    with use_device(dev), \
+            (use_recorder(recorder) if recorder else nullcontext()):
         for step in range(1, args.steps + 1):
+            step_t0 = time.perf_counter()
             res = train_step(model, trainer, batch_fn(step - 1),
                              lr=sched.lr(trainer.step_count + 1))
+            if metrics is not None:
+                metrics.observe_step(
+                    step=step, loss=res.loss, num_tokens=res.num_tokens,
+                    wall_s=time.perf_counter() - step_t0,
+                    applied=res.applied, scaler=scaler)
             window_loss += res.loss
             window_tokens += res.num_tokens
             if step % args.log_interval == 0 or step == args.steps:
                 wall = time.perf_counter() - window_t0
                 sim = trace_cost(dev.launches, spec).total_s
+                if args.trace_out:
+                    kept_launches.extend(dev.launches)
                 dev.reset()
                 print(f"step {step:>5} | loss/tok "
                       f"{window_loss / max(window_tokens, 1):7.3f} | "
@@ -181,6 +203,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                          if trainer.skipped_steps else ""))
                 window_loss = window_tokens = 0
                 window_t0 = time.perf_counter()
+    if args.trace_out:
+        write_trace(args.trace_out, perfetto_trace(
+            spans=recorder.spans, kernels=kept_launches, spec=spec,
+            metadata={"task": args.task, "trainer": args.trainer,
+                      "steps": args.steps, "gpu": args.gpu}))
+        print(f"trace written to {args.trace_out} "
+              f"({len(recorder.spans)} spans, {len(kept_launches)} kernel "
+              f"slices)")
+    if args.metrics_out:
+        print(f"metrics written to {args.metrics_out} "
+              f"({metrics.steps} steps)")
     if args.save_dir:
         save_checkpoint(model, trainer, args.save_dir)
         print(f"checkpoint written to {args.save_dir}")

@@ -34,6 +34,7 @@ import numpy as np
 
 from ..backend.device import current_device
 from ..layers.base import Layer
+from ..obs.spans import span
 from ..sim.comm import (DDP_BUCKET_BYTES, GradBucket, allgather_seconds,
                         bucketed_allreduce_seconds,
                         compressed_allreduce_seconds,
@@ -135,7 +136,7 @@ class DataParallel:
         the alpha–beta sync-time model).  Recorded under the "sync" stage.
         """
         dev = current_device()
-        with dev.stage_scope("sync"):
+        with dev.stage_scope("sync"), span("comm/grad_sync"):
             flats = self._flat_grads()
             nbytes = flats[0].nbytes
             if self.world_size > 1:
@@ -177,7 +178,7 @@ class DataParallel:
         """ZeRO-1 phase 3: circulate each rank's updated parameter shard
         so every replica holds the full updated model (pure copies)."""
         dev = current_device()
-        with dev.stage_scope("sync"):
+        with dev.stage_scope("sync"), span("comm/allgather_params"):
             slabs = [t.workspace.params for t in self.trainers]
             ring_allgather(slabs)
             dev.record("allgather_params",
@@ -255,23 +256,29 @@ class DataParallel:
         dev = current_device()
         total_loss = 0.0
         total_tokens = 0
-        for trainer in self.trainers:
-            trainer.zero_grad()
-        for model, shard in zip(self.replicas, shards):
-            with dev.stage_scope("forward"):
-                loss, ntok = model.forward(*shard)
-            with dev.stage_scope("backward"):
-                model.backward()
-            total_loss += loss
-            total_tokens += ntok
-        self.sync_gradients()
-        gs = (grad_scale_fn(total_tokens) if grad_scale_fn
-              else 1.0 / max(total_tokens, 1) * self.world_size)
-        overflow = self._global_overflow() if self.zero1 else None
-        for trainer in self.trainers:
-            trainer.step(lr=lr, grad_scale=gs, overflow_override=overflow)
-        if self.zero1:
-            self._allgather_params()
+        with span("dp/step"):
+            for trainer in self.trainers:
+                trainer.zero_grad()
+            for rank, (model, shard) in enumerate(zip(self.replicas,
+                                                      shards)):
+                with dev.stage_scope("forward"), \
+                        span(f"dp/rank{rank}/forward"):
+                    loss, ntok = model.forward(*shard)
+                with dev.stage_scope("backward"), \
+                        span(f"dp/rank{rank}/backward"):
+                    model.backward()
+                total_loss += loss
+                total_tokens += ntok
+            self.sync_gradients()
+            gs = (grad_scale_fn(total_tokens) if grad_scale_fn
+                  else 1.0 / max(total_tokens, 1) * self.world_size)
+            overflow = self._global_overflow() if self.zero1 else None
+            with span("dp/update"):
+                for trainer in self.trainers:
+                    trainer.step(lr=lr, grad_scale=gs,
+                                 overflow_override=overflow)
+            if self.zero1:
+                self._allgather_params()
         return total_loss, total_tokens
 
     def train_step_microbatched(self, microbatches: Sequence[Tuple], *,

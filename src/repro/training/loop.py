@@ -14,6 +14,7 @@ from typing import Callable, Iterable, List, Optional, Sequence
 
 from ..backend.device import current_device
 from ..layers.base import Layer
+from ..obs.spans import span
 from .trainer import TrainerBase
 
 
@@ -40,14 +41,17 @@ def train_step(model: Layer, trainer: TrainerBase, batch: Sequence, *,
     on the fused path — matching §3.2.
     """
     dev = current_device()
-    trainer.zero_grad()
-    scale = trainer.scaler.scale if trainer.scaler is not None else 1.0
-    with dev.stage_scope("forward"):
-        loss, ntok = model.forward(*batch)
-    with dev.stage_scope("backward"):
-        model.backward(grad_scale=scale)
-    gs = 1.0 / (scale * max(ntok, 1))
-    applied = trainer.step(lr=lr, grad_scale=gs)
+    with span("train/step"):
+        with span("train/zero_grad"):
+            trainer.zero_grad()
+        scale = trainer.scaler.scale if trainer.scaler is not None else 1.0
+        with dev.stage_scope("forward"), span("train/forward"):
+            loss, ntok = model.forward(*batch)
+        with dev.stage_scope("backward"), span("train/backward"):
+            model.backward(grad_scale=scale)
+        gs = 1.0 / (scale * max(ntok, 1))
+        with span("train/update"):
+            applied = trainer.step(lr=lr, grad_scale=gs)
     return StepResult(loss=loss, num_tokens=ntok, applied=applied)
 
 
@@ -101,18 +105,21 @@ def train_step_accumulated(model: Layer, trainer: TrainerBase,
     if not microbatches:
         raise ValueError("no microbatches")
     dev = current_device()
-    trainer.zero_grad()
-    scale = trainer.scaler.scale if trainer.scaler is not None else 1.0
-    total_loss = 0.0
-    total_tokens = 0
-    for mb in microbatches:
-        with dev.stage_scope("forward"):
-            loss, ntok = model.forward(*mb)
-        with dev.stage_scope("backward"):
-            model.backward(grad_scale=scale)
-        total_loss += loss
-        total_tokens += ntok
-    gs = 1.0 / (scale * max(total_tokens, 1))
-    applied = trainer.step(lr=lr, grad_scale=gs)
+    with span("train/step"):
+        with span("train/zero_grad"):
+            trainer.zero_grad()
+        scale = trainer.scaler.scale if trainer.scaler is not None else 1.0
+        total_loss = 0.0
+        total_tokens = 0
+        for mb in microbatches:
+            with dev.stage_scope("forward"), span("train/forward"):
+                loss, ntok = model.forward(*mb)
+            with dev.stage_scope("backward"), span("train/backward"):
+                model.backward(grad_scale=scale)
+            total_loss += loss
+            total_tokens += ntok
+        gs = 1.0 / (scale * max(total_tokens, 1))
+        with span("train/update"):
+            applied = trainer.step(lr=lr, grad_scale=gs)
     return StepResult(loss=total_loss, num_tokens=total_tokens,
                       applied=applied)

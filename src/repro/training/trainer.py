@@ -37,6 +37,7 @@ from ..backend.kernels.optimizer import (adam_update_apex, adam_update_fp32_naiv
                                          sgd_update_naive)
 from ..backend.workspace import Workspace, build_workspace
 from ..layers.base import Layer, Parameter
+from ..obs.spans import span
 from .optimizers import OptimizerSpec
 
 
@@ -77,16 +78,19 @@ class TrainerBase:
         dev = current_device()
         with dev.stage_scope("update"):
             if self.scaler is not None:
-                if overflow_override is None:
-                    overflow = self.scaler.check_overflow(self._grads())
-                else:
-                    overflow = overflow_override
+                with span("trainer/overflow_check"):
+                    if overflow_override is None:
+                        overflow = self.scaler.check_overflow(self._grads())
+                    else:
+                        overflow = overflow_override
                 self.scaler.update(overflow)
                 if overflow:
                     self.skipped_steps += 1
                     return False
             self.step_count += 1
-            self._apply(lr if lr is not None else self.spec.lr, grad_scale)
+            with span("trainer/apply"):
+                self._apply(lr if lr is not None else self.spec.lr,
+                            grad_scale)
         return True
 
 

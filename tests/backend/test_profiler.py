@@ -55,10 +55,20 @@ def test_compare_ratios(trace):
     assert 0 < diff.bytes_ratio < 1
 
 
-def test_compare_empty_baseline():
-    import math
-    diff = compare([], [])
-    assert math.isnan(diff.launch_ratio)
+def test_compare_empty_baseline_raises(trace):
+    """An empty baseline means undefined ratios — explicit error, not NaN."""
+    with pytest.raises(ValueError, match="non-empty baseline"):
+        compare([], [])
+    with pytest.raises(ValueError, match="non-empty baseline"):
+        compare([], trace)
+
+
+def test_compare_empty_optimized_is_defined(trace):
+    """Only the baseline must be non-empty; an empty optimized trace is a
+    legitimate 'everything was removed' result."""
+    diff = compare(trace, [])
+    assert diff.launch_ratio == 0.0
+    assert diff.bytes_ratio == 0.0
 
 
 def test_format_stage_table(trace):

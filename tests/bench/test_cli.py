@@ -16,3 +16,23 @@ def test_runs_named_experiment(capsys, monkeypatch):
     out = capsys.readouterr().out
     assert "Fig. 1 companion" in out
     assert "all shape claims hold" in out
+
+
+def test_record_dir_writes_bench_record(tmp_path, capsys, monkeypatch):
+    """--record-dir populates BENCH_<name>.json with table + claims."""
+    from repro.obs.runrecord import load_run_record
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "quick")
+    out_dir = tmp_path / "recs"          # created on demand
+    assert main(["fig01", "--record-dir", str(out_dir)]) == 0
+    path = out_dir / "BENCH_fig01.json"
+    assert path.exists()
+    rec = load_run_record(str(path))
+    assert rec["name"] == "fig01"
+    assert rec["table"]["rows"]
+    assert all("holds" in c for c in rec["claims"])
+    assert rec["counters"]["claims_failed"] == 0
+
+
+def test_record_dir_needs_value(capsys):
+    assert main(["--record-dir"]) == 2
+    assert "needs a directory" in capsys.readouterr().out

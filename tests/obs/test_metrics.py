@@ -1,0 +1,104 @@
+"""MetricsRecorder: step records, JSONL round-trip, append-only semantics."""
+
+import json
+
+import pytest
+
+from repro.backend.profiler import count_fresh_alloc, reset_alloc_counters
+from repro.obs.metrics import MetricsRecorder, StepMetrics, read_jsonl
+from repro.precision.loss_scaler import DynamicLossScaler
+from repro.sim.timeline import BucketSchedule
+
+
+def test_basic_step_record():
+    rec = MetricsRecorder()
+    m = rec.observe_step(step=1, loss=12.0, num_tokens=48, wall_s=0.5)
+    assert m.loss_per_token == pytest.approx(0.25)
+    assert m.tokens_per_s == pytest.approx(96.0)
+    assert m.applied and not m.overflow
+    assert m.loss_scale is None
+    assert rec.steps == 1
+
+
+def test_scaler_arena_comm_sections():
+    class FakeArena:
+        reservations = 2
+        capacity = 1 << 20
+
+    scaler = DynamicLossScaler(init_scale=2.0 ** 8)
+    sched = BucketSchedule(ready_s=(0.1,), start_s=(0.1,), finish_s=(0.3,),
+                           comm_total_s=0.2, exposed_s=0.05, backward_s=0.25)
+    rec = MetricsRecorder()
+    m = rec.observe_step(step=3, loss=1.0, num_tokens=10, wall_s=0.1,
+                         applied=False, scaler=scaler, arena=FakeArena(),
+                         comm=sched)
+    assert m.overflow and not m.applied
+    assert m.loss_scale == 2.0 ** 8
+    assert m.arena_reservations == 2
+    assert m.arena_capacity_bytes == 1 << 20
+    assert m.comm_hidden_s == pytest.approx(0.15)
+    assert m.comm_exposed_s == pytest.approx(0.05)
+
+
+def test_alloc_delta_is_per_step():
+    reset_alloc_counters()
+    rec = MetricsRecorder()
+    count_fresh_alloc(100)
+    m1 = rec.observe_step(step=1, loss=0.0, num_tokens=1, wall_s=0.1)
+    m2 = rec.observe_step(step=2, loss=0.0, num_tokens=1, wall_s=0.1)
+    assert m1.new_allocs == 1 and m1.new_alloc_bytes == 100
+    assert m2.new_allocs == 0          # delta resets between steps
+    reset_alloc_counters()
+
+
+def test_streaming_jsonl_one_object_per_line(tmp_path):
+    path = str(tmp_path / "m.jsonl")
+    rec = MetricsRecorder(path=path)
+    for step in range(1, 4):
+        rec.observe_step(step=step, loss=float(step), num_tokens=8,
+                         wall_s=0.1)
+    raw = open(path).read()
+    lines = raw.splitlines()
+    assert len(lines) == 3
+    for line in lines:
+        json.loads(line)               # each line is a standalone object
+    parsed = read_jsonl(path)
+    assert [m["step"] for m in parsed] == [1, 2, 3]
+    assert all("tokens_per_s" in m and "loss_per_token" in m for m in parsed)
+
+
+def test_write_jsonl_appends(tmp_path):
+    path = str(tmp_path / "m.jsonl")
+    first = MetricsRecorder()
+    first.observe_step(step=1, loss=1.0, num_tokens=8, wall_s=0.1)
+    first.write_jsonl(path)
+    second = MetricsRecorder()
+    second.observe_step(step=2, loss=1.0, num_tokens=8, wall_s=0.1)
+    second.write_jsonl(path)           # append-only trajectory
+    assert [m["step"] for m in read_jsonl(path)] == [1, 2]
+
+
+def test_read_jsonl_reports_bad_line(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"step": 1}\nnot json\n')
+    with pytest.raises(ValueError, match=r"bad\.jsonl:2"):
+        read_jsonl(str(path))
+
+
+def test_summary_aggregates():
+    rec = MetricsRecorder()
+    rec.observe_step(step=1, loss=4.0, num_tokens=10, wall_s=0.5)
+    rec.observe_step(step=2, loss=6.0, num_tokens=10, wall_s=0.5,
+                     applied=False)
+    s = rec.summary()
+    assert s["steps"] == 2
+    assert s["total_tokens"] == 20
+    assert s["tokens_per_s"] == pytest.approx(20.0)
+    assert s["mean_loss_per_token"] == pytest.approx(0.5)
+    assert s["skipped_steps"] == 1
+    assert MetricsRecorder().summary() == {"steps": 0}
+
+
+def test_zero_wall_clock_is_defined():
+    m = StepMetrics(step=1, loss=1.0, num_tokens=10, wall_s=0.0)
+    assert m.tokens_per_s == 0.0

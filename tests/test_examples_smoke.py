@@ -41,6 +41,14 @@ def test_kernel_dev_tools():
     assert "shape sweep" in out
 
 
+def test_observability_tour():
+    out = _run("observability_tour.py")
+    assert "spans recorded" in out
+    assert "trace written to" in out and "metrics written to" in out
+    assert "run-record diff" in out
+    assert "no regressions" in out   # fused must not regress vs naive
+
+
 @pytest.mark.slow
 def test_train_translation():
     out = _run("train_translation.py", timeout=400)

@@ -53,3 +53,37 @@ def test_save_and_resume(tmp_path, capsys):
 
 def test_resume_requires_save_dir(capsys):
     assert main(["--task", "mt", "--steps", "1", "--resume"]) == 2
+
+
+def test_trace_and_metrics_out(tmp_path, capsys):
+    """--trace-out/--metrics-out emit a Perfetto trace + JSONL metrics."""
+    import json
+    trace_path = tmp_path / "step.trace.json"
+    metrics_path = tmp_path / "step.metrics.jsonl"
+    rc = main(["--task", "mt", "--steps", "3", "--max-tokens", "128",
+               "--log-interval", "1",
+               "--trace-out", str(trace_path),
+               "--metrics-out", str(metrics_path)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "trace written to" in out and "metrics written to" in out
+
+    trace = json.loads(trace_path.read_text())
+    events = trace["traceEvents"]
+    assert events
+    stages = {e["args"]["stage"] for e in events
+              if e.get("cat") == "stage"}
+    assert {"forward", "backward", "update"} <= stages
+    span_names = {e["name"] for e in events if e.get("cat") == "span"}
+    assert {"train/step", "train/forward", "train/backward",
+            "train/update"} <= span_names
+    kernels = [e for e in events if e.get("cat") == "kernel"]
+    assert kernels and all("bytes" in e["args"] for e in kernels)
+
+    lines = [json.loads(l) for l in metrics_path.read_text().splitlines()]
+    assert [m["step"] for m in lines] == [1, 2, 3]
+    for m in lines:
+        for key in ("loss", "num_tokens", "tokens_per_s", "loss_scale",
+                    "applied", "new_allocs", "comm_hidden_s",
+                    "comm_exposed_s"):
+            assert key in m, key
