@@ -29,16 +29,23 @@ from .layers.criterion import LSCrossEntropyLayer
 from .layers.decoder import LSTransformerDecoderLayer
 from .layers.embedding import LSEmbeddingLayer
 from .layers.encoder import LSTransformerEncoderLayer
-from .obs import (MetricsRecorder, SpanRecorder, perfetto_trace, span,
-                  use_recorder, write_trace)
+from .obs import (MetricsRecorder, NumericsCollector, SpanRecorder,
+                  perfetto_trace, span, use_collector, use_recorder,
+                  write_trace)
+
+_LAZY_OBS = {
+    # kept lazy so `python -m repro.obs.summarize` / `.health` don't
+    # import the module they are about to execute (see repro/obs/
+    # __init__.py)
+    "summarize_run_records", "AnomalyEngine", "AnomalyHalted",
+    "analyze_rows",
+}
 
 
 def __getattr__(name):
-    # kept lazy so `python -m repro.obs.summarize` doesn't import the
-    # module it is about to execute (see repro/obs/__init__.py)
-    if name == "summarize_run_records":
-        from .obs import summarize_run_records
-        return summarize_run_records
+    if name in _LAZY_OBS:
+        from . import obs
+        return getattr(obs, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
@@ -62,5 +69,11 @@ __all__ = [
     "perfetto_trace",
     "write_trace",
     "summarize_run_records",
+    # numerics observatory
+    "NumericsCollector",
+    "use_collector",
+    "AnomalyEngine",
+    "AnomalyHalted",
+    "analyze_rows",
     "__version__",
 ]

@@ -84,6 +84,21 @@ class Workspace:
         """Ordered (name, element count) pairs — the bucket inventory."""
         return [(name, n) for name, (_, n, _) in self._offsets.items()]
 
+    def named_param_views(self):
+        """Ordered (name, shaped param view) pairs — one slab walk.
+
+        The numerics observatory iterates these to compute per-layer
+        health without touching layer code: every view is zero-copy
+        into the contiguous ``params`` array.
+        """
+        for name in self._offsets:
+            yield name, self.param_view(name)
+
+    def named_grad_views(self):
+        """Ordered (name, shaped grad view) pairs (see above)."""
+        for name in self._offsets:
+            yield name, self.grad_view(name)
+
     def bucket_partition(self, bucket_bytes: int) -> List["GradBucket"]:
         """Partition the flat workspace into parameter-aligned DDP buckets
         (element spans; see :func:`repro.sim.comm.partition_buckets`)."""

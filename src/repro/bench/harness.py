@@ -39,6 +39,14 @@ class ExperimentResult:
     rows: List[Sequence[Any]]
     claims: List[ShapeClaim] = field(default_factory=list)
     notes: str = ""
+    #: optional per-stage simulated seconds — lands in the run record's
+    #: ``stage_seconds`` section, the part ``repro.obs.summarize`` gates.
+    stage_seconds: Optional[Dict[str, float]] = None
+    #: optional per-step metrics rows for the run record.
+    metrics: Optional[List[Dict[str, Any]]] = None
+    #: optional counters measured by the experiment itself; merged with
+    #: (and overridden by) the caller-supplied counters in to_run_record.
+    counters: Optional[Dict[str, float]] = None
 
     def claim(self, description: str, holds: bool, detail: str = "") -> None:
         self.claims.append(ShapeClaim(description, bool(holds), detail))
@@ -87,7 +95,8 @@ class ExperimentResult:
         cfg: Dict[str, Any] = {}
         if scale is not None:
             cfg["scale"] = scale
-        ctr = dict(counters or {})
+        ctr = dict(self.counters or {})
+        ctr.update(counters or {})
         if elapsed_s is not None:
             ctr["elapsed_s"] = float(elapsed_s)
         ctr["claims_checked"] = len(self.claims)
@@ -99,6 +108,8 @@ class ExperimentResult:
             claims=[{"description": c.description, "holds": c.holds,
                      "detail": c.detail} for c in self.claims],
             counters=ctr,
+            stage_seconds=self.stage_seconds,
+            metrics=self.metrics,
             config=cfg or None,
             notes=self.notes or self.name,
         )

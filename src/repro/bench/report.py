@@ -69,6 +69,11 @@ PAPER_EXPECTATIONS: Dict[str, str] = {
                      "every world size), and ZeRO-1 sharding cuts "
                      "per-replica optimizer state by (world-1)/world while "
                      "staying bit-identical to the unsharded trainer.",
+    "smoke": "Supplementary (§3.2 observability): a healthy fused-FP16 "
+             "run under full numerics instrumentation shows zero "
+             "anomalies — every layer sampled every step, no loss-scale "
+             "skips at a conservative init scale; the record is the "
+             "nightly CI health baseline.",
 }
 
 HEADER = """\

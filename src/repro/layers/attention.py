@@ -126,6 +126,7 @@ class MultiHeadAttention(Layer):
         merged = transform.merge_heads_naive(ctx, fp16=fp16)
         out = gemm.linear_forward(merged, self.w_o.compute(), fp16=fp16,
                                   name="gemm_out_proj")
+        self.tap("out", out)
         self.save(x=x, kv=kv if self.is_cross else x, q=q, k=k, v=v,
                   probs=probs, probs_d=probs_d, merged=merged)
         if dmask is not None:

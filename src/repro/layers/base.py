@@ -20,6 +20,7 @@ import numpy as np
 from ..backend.arena import ActivationArena, current_arena
 from ..backend.dtypes import storage_dtype, to_compute
 from ..config import LSConfig
+from ..obs import numerics as _numerics
 
 
 class Parameter:
@@ -171,6 +172,19 @@ class Layer:
         """
         arena = self._arena
         return arena.request(shape, dtype) if arena is not None else None
+
+    # -- numerics-observatory activation tap ------------------------------------
+
+    def tap(self, tag: str, x: np.ndarray) -> None:
+        """Report an activation to the numerics observatory, if watching.
+
+        With no collector installed this is a truthiness test on a
+        module-level list — the name string is not even formatted — so
+        uninstrumented runs pay ~nothing (same contract as spans).
+        """
+        if not _numerics._collectors:
+            return
+        _numerics.tap_activation(f"{self.name}.{tag}", x)
 
     # -- saved-activation bookkeeping ------------------------------------------
 

@@ -114,6 +114,7 @@ class LSTransformerDecoderLayer(Layer):
         h = self._epilogue_fwd(z, self.b_self_o, residual, "self")
         if not pre_ln:
             h = self._ln1.forward(h, "ln1")
+        self.tap("self_attn_out", h)
         # --- cross-attention
         residual = h
         y = self._ln2.forward(h, "ln2") if pre_ln else h
@@ -121,6 +122,7 @@ class LSTransformerDecoderLayer(Layer):
         h = self._epilogue_fwd(z, self.b_cross_o, residual, "cross")
         if not pre_ln:
             h = self._ln2.forward(h, "ln2")
+        self.tap("cross_attn_out", h)
         # --- FFN
         residual = h
         y = self._ln3.forward(h, "ln3") if pre_ln else h
@@ -128,6 +130,7 @@ class LSTransformerDecoderLayer(Layer):
         out = self._epilogue_fwd(z, self.b_ffn_o, residual, "ffn")
         if not pre_ln:
             out = self._ln3.forward(out, "ln3")
+        self.tap("out", out)
         return out
 
     def backward(self, d_out: np.ndarray

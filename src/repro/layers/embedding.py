@@ -57,6 +57,7 @@ class LSEmbeddingLayer(Layer):
         y, mask = fn(tokens, self.table.compute(), self.pos_table,
                      self.scale, p, self.rng, fp16=cfg.fp16,
                      pad_idx=cfg.padding_idx)
+        self.tap("out", y)
         self.save(dmask=mask)
         self._tokens = tokens
         return y

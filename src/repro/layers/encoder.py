@@ -137,6 +137,7 @@ class LSTransformerEncoderLayer(Layer):
         h = self._epilogue_fwd(z, self.b_attn_o, residual, "attn")
         if not pre_ln:
             h = self._ln1.forward(h, "ln1")
+        self.tap("attn_out", h)
         # --- FFN sublayer
         residual = h
         y = self._ln2.forward(h, "ln2") if pre_ln else h
@@ -144,6 +145,7 @@ class LSTransformerEncoderLayer(Layer):
         out = self._epilogue_fwd(z, self.b_ffn_o, residual, "ffn")
         if not pre_ln:
             out = self._ln2.forward(out, "ln2")
+        self.tap("out", out)
         return out
 
     def backward(self, d_out: np.ndarray) -> np.ndarray:

@@ -65,6 +65,7 @@ class FeedForward(Layer):
                 hidden, mask = a, None
         out = gemm.linear_forward(hidden, self.w2.compute(), fp16=fp16,
                                   name="gemm_ffn2")
+        self.tap("out", out)
         self.save(x=x, pre=pre, hidden=hidden)
         if mask is not None:
             self.save(mask=mask)

@@ -21,33 +21,65 @@ instead of ad-hoc printouts:
   records every bench emits.
 * :mod:`~repro.obs.summarize` — ``python -m repro.obs.summarize A B``
   diffs two run records and prints per-stage regressions.
+* :mod:`~repro.obs.numerics` / :mod:`~repro.obs.health` — the numerics
+  observatory: a sampling per-layer tensor-health collector (grad norms,
+  FP16 saturation, update ratios, activation taps), a pluggable anomaly
+  engine, and the ``python -m repro.obs.health`` triage CLI.
+* :mod:`~repro.obs.provenance` — git SHA / config hash stamps making
+  two telemetry streams comparable across commits.
 
 With no recorder installed every hook is a near-free no-op, so the
 instrumentation can stay permanently threaded through the hot paths.
 """
 
-from .metrics import MetricsRecorder, StepMetrics, read_jsonl
-from .perfetto import (kernel_events, perfetto_trace, schedule_events,
-                       span_events, write_trace)
+from .metrics import (METRICS_SCHEMA, MetricsRecorder, StepMetrics,
+                      event_records, read_jsonl, step_records)
+from .numerics import (NUMERICS_SCHEMA, NumericsCollector, StepNumerics,
+                       TensorStats, current_collector, saturation_histogram,
+                       tap_activation, tensor_stats, use_collector)
+from .perfetto import (anomaly_events, kernel_events, perfetto_trace,
+                       schedule_events, span_events, write_trace)
+from .provenance import config_hash, git_sha, provenance
 from .runrecord import (RUN_RECORD_SCHEMA, bench_record_path,
                         load_run_record, make_run_record, write_run_record)
 from .spans import Span, SpanRecorder, current_recorder, span, use_recorder
 
+_LAZY = {
+    # lazy: `python -m repro.obs.summarize` / `.health` re-execute the
+    # module as __main__, and an eager import here would leave a second
+    # copy in sys.modules (runpy prints a RuntimeWarning about exactly
+    # that).
+    "summarize_run_records": ("summarize", "summarize_run_records"),
+    "Anomaly": ("health", "Anomaly"),
+    "AnomalyEngine": ("health", "AnomalyEngine"),
+    "AnomalyHalted": ("health", "AnomalyHalted"),
+    "HealthReport": ("health", "HealthReport"),
+    "analyze_rows": ("health", "analyze_rows"),
+    "default_detectors": ("health", "default_detectors"),
+}
+
 
 def __getattr__(name):
-    # lazy: `python -m repro.obs.summarize` re-executes the module as
-    # __main__, and an eager import here would leave a second copy in
-    # sys.modules (runpy prints a RuntimeWarning about exactly that).
-    if name == "summarize_run_records":
-        from .summarize import summarize_run_records
-        return summarize_run_records
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    try:
+        mod, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+    return getattr(importlib.import_module(f".{mod}", __name__), attr)
 
 __all__ = [
     "Span", "SpanRecorder", "current_recorder", "span", "use_recorder",
-    "MetricsRecorder", "StepMetrics", "read_jsonl",
-    "kernel_events", "perfetto_trace", "schedule_events", "span_events",
-    "write_trace",
+    "METRICS_SCHEMA", "MetricsRecorder", "StepMetrics", "read_jsonl",
+    "step_records", "event_records",
+    "NUMERICS_SCHEMA", "NumericsCollector", "StepNumerics", "TensorStats",
+    "current_collector", "use_collector", "tap_activation", "tensor_stats",
+    "saturation_histogram",
+    "Anomaly", "AnomalyEngine", "AnomalyHalted", "HealthReport",
+    "analyze_rows", "default_detectors",
+    "provenance", "git_sha", "config_hash",
+    "anomaly_events", "kernel_events", "perfetto_trace", "schedule_events",
+    "span_events", "write_trace",
     "RUN_RECORD_SCHEMA", "bench_record_path", "load_run_record",
     "make_run_record", "write_run_record",
     "summarize_run_records",

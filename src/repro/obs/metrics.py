@@ -8,6 +8,12 @@ communication split from the two-stream overlap schedule — and appends it
 as one JSON object per line.  JSONL (not one big array) so a crashed or
 interrupted run still leaves every completed step parseable, and so two
 runs into the same file remain an append-only trajectory.
+
+Beyond step rows, the stream carries **event rows** (any object with an
+``"event"`` key): a provenance ``header`` (git SHA, config hash, schema
+version — what makes two streams comparable across commits), and the
+numerics observatory's ``numerics`` / ``anomaly`` lines.  Use
+:func:`step_records` / :func:`event_records` to split a parsed stream.
 """
 
 from __future__ import annotations
@@ -18,6 +24,9 @@ from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional
 
 from ..backend.profiler import alloc_counters
+
+#: schema tag carried by the stream's provenance header line.
+METRICS_SCHEMA = "repro.obs.metrics/v2"
 
 
 @dataclass
@@ -32,6 +41,11 @@ class StepMetrics:
     overflow: bool = False
     loss_scale: Optional[float] = None
     skipped_total: int = 0          # cumulative scaler skips so far
+    # loss-scale dynamics (§3.2 overflow protocol: growth/backoff events,
+    # current consecutive-skip streak)
+    scale_growths: int = 0
+    scale_backoffs: int = 0
+    skip_streak: int = 0
     # allocation-counter deltas for this step (§3.3 instrumentation)
     new_allocs: int = 0
     new_alloc_bytes: int = 0
@@ -64,14 +78,41 @@ class MetricsRecorder:
 
     With ``path`` set, every observed step is appended to the file
     immediately (append-only, one object per line); without it the records
-    stay in memory until :meth:`write_jsonl`.
+    stay in memory until :meth:`write_jsonl`.  Unless ``provenance`` is
+    disabled, the stream opens with a ``header`` event line stamping the
+    git SHA, a hash of ``config``, and the stream schema version, so two
+    JSONL files are comparable across commits.
     """
 
-    def __init__(self, path: Optional[str] = None):
+    def __init__(self, path: Optional[str] = None, *,
+                 config: Optional[Dict[str, object]] = None,
+                 provenance: bool = True):
         self.path = path
         self.records: List[StepMetrics] = []
+        self.events: List[Dict[str, object]] = []
+        self._log: List[Dict[str, object]] = []   # rows in emission order
         self._lock = threading.Lock()
         self._alloc_base = alloc_counters().snapshot()
+        if provenance:
+            from .provenance import provenance as _prov
+            self.observe_event("header", schema=METRICS_SCHEMA,
+                               **_prov(config))
+
+    def observe_event(self, kind: str, /, **payload: object
+                      ) -> Dict[str, object]:
+        """Append one event row (``{"event": kind, ...payload}``).
+
+        ``kind`` is positional-only so payloads may themselves carry a
+        ``kind`` key (anomaly records do).
+        """
+        rec = {"event": kind, **payload}
+        with self._lock:
+            self.events.append(rec)
+            self._log.append(rec)
+            if self.path:
+                with open(self.path, "a") as f:
+                    f.write(json.dumps(rec) + "\n")
+        return rec
 
     @property
     def steps(self) -> int:
@@ -104,6 +145,12 @@ class MetricsRecorder:
                             else None),
                 skipped_total=(int(getattr(scaler, "overflows", 0))
                                if scaler is not None else 0),
+                scale_growths=(int(getattr(scaler, "growths", 0))
+                               if scaler is not None else 0),
+                scale_backoffs=(int(getattr(scaler, "backoffs", 0))
+                                if scaler is not None else 0),
+                skip_streak=(int(getattr(scaler, "skip_streak", 0))
+                             if scaler is not None else 0),
                 new_allocs=delta.new_allocs,
                 new_alloc_bytes=delta.new_alloc_bytes,
                 arena_hits=delta.arena_hits,
@@ -118,16 +165,18 @@ class MetricsRecorder:
                                 if comm is not None else 0.0),
             )
             self.records.append(rec)
+            self._log.append(rec.as_dict())
             if self.path:
                 with open(self.path, "a") as f:
                     f.write(json.dumps(rec.as_dict()) + "\n")
         return rec
 
     def write_jsonl(self, path: str) -> None:
-        """Append every in-memory record to ``path`` (one object/line)."""
+        """Append every in-memory row (steps AND events, in emission
+        order) to ``path``, one object per line."""
         with open(path, "a") as f:
-            for rec in self.records:
-                f.write(json.dumps(rec.as_dict()) + "\n")
+            for row in self._log:
+                f.write(json.dumps(row) + "\n")
 
     def summary(self) -> Dict[str, float]:
         """Aggregates for run records: mean loss/token, tokens/s, skips."""
@@ -165,3 +214,15 @@ def read_jsonl(path: str) -> List[Dict[str, object]]:
                     f"{path}:{lineno}: not one-JSON-object-per-line "
                     f"({e})") from e
     return out
+
+
+def step_records(rows: List[Dict[str, object]]) -> List[Dict[str, object]]:
+    """Only the per-step rows of a parsed stream (event rows dropped)."""
+    return [r for r in rows if "event" not in r]
+
+
+def event_records(rows: List[Dict[str, object]],
+                  kind: Optional[str] = None) -> List[Dict[str, object]]:
+    """Only the event rows, optionally of one ``kind``."""
+    return [r for r in rows if "event" in r
+            and (kind is None or r["event"] == kind)]

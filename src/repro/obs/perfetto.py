@@ -161,11 +161,34 @@ def schedule_events(sched: BucketSchedule, *, pid: int = SIM_PID,
     return events
 
 
+def anomaly_events(anomalies: Iterable[object], *, pid: int = HOST_PID,
+                   tid: int = 0) -> List[Dict[str, object]]:
+    """Numerics-observatory anomalies as global instant events.
+
+    Instants ("ph": "i", global scope) draw as full-height markers in the
+    Perfetto UI, so a NaN burst or loss spike lines up visually with the
+    host spans of the step that produced it.  ``anomalies`` is any
+    iterable of :class:`repro.obs.health.Anomaly` (duck-typed: ``kind``,
+    ``step``, ``layer``, ``detail``, ``severity``, ``t_s``).
+    """
+    events: List[Dict[str, object]] = []
+    for a in anomalies:
+        events.append({
+            "name": f"anomaly:{a.kind}", "cat": "anomaly", "ph": "i",
+            "s": "g", "ts": float(getattr(a, "t_s", 0.0)) * _US,
+            "pid": pid, "tid": tid,
+            "args": {"step": a.step, "layer": a.layer, "detail": a.detail,
+                     "severity": a.severity},
+        })
+    return events
+
+
 def perfetto_trace(*, spans: Optional[Iterable[Span]] = None,
                    kernels: Optional[Sequence[KernelLaunch]] = None,
                    spec: Optional[GPUSpec] = None,
                    schedule: Optional[BucketSchedule] = None,
                    schedule_pid: int = SIM_PID + 1,
+                   anomalies: Optional[Iterable[object]] = None,
                    metadata: Optional[Dict[str, object]] = None
                    ) -> Dict[str, object]:
     """Assemble a complete Perfetto-loadable trace dict."""
@@ -178,6 +201,8 @@ def perfetto_trace(*, spans: Optional[Iterable[Span]] = None,
         events.extend(kernel_events(kernels, spec))
     if schedule is not None:
         events.extend(schedule_events(schedule, pid=schedule_pid))
+    if anomalies is not None:
+        events.extend(anomaly_events(anomalies))
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",

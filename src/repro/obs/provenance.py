@@ -1,0 +1,71 @@
+"""Run provenance: who produced this record, from which source tree.
+
+``BENCH_*.json`` run records and metrics JSONL streams are only
+comparable across commits if they say *which* commit (and which config)
+produced them — the reason the BENCH trajectory stayed empty for so long
+was that two records could silently come from different code.  This
+module stamps every record with:
+
+* the **git SHA** of the source tree (``None`` outside a checkout or
+  when git is unavailable — records stay writable everywhere);
+* a **config hash** — a short stable digest of the run's configuration
+  dict, key-order independent, so "same config" is machine-checkable;
+* a **schema version** for the provenance block itself.
+
+Everything here is best-effort and read-only: provenance must never be
+the reason a run fails to record.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import subprocess
+from functools import lru_cache
+from typing import Dict, Mapping, Optional
+
+#: version of the provenance block layout (bump on incompatible change).
+PROVENANCE_SCHEMA = 1
+
+
+@lru_cache(maxsize=1)
+def git_sha() -> Optional[str]:
+    """The HEAD commit of the source tree this package runs from.
+
+    Resolved relative to the package directory (not the CWD), so records
+    written from any working directory still name the code that wrote
+    them.  Returns ``None`` when git or the repository is absent.
+    """
+    here = os.path.dirname(os.path.abspath(__file__))
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=here, capture_output=True,
+            text=True, timeout=5)
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and len(sha) == 40 else None
+
+
+def config_hash(config: Optional[Mapping]) -> Optional[str]:
+    """Short stable digest of a configuration mapping.
+
+    Key order does not matter; values are serialised with ``str`` as the
+    fallback so dataclass-ish members never break stamping.
+    """
+    if config is None:
+        return None
+    blob = json.dumps(dict(config), sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:12]
+
+
+def provenance(config: Optional[Mapping] = None) -> Dict[str, object]:
+    """The provenance block stamped into run records and JSONL headers."""
+    return {
+        "provenance_schema": PROVENANCE_SCHEMA,
+        "git_sha": git_sha(),
+        "config_hash": config_hash(config),
+        "python": platform.python_version(),
+    }

@@ -27,7 +27,13 @@ def make_run_record(name: str, *,
                     claims: Optional[Sequence[Dict[str, object]]] = None,
                     config: Optional[Dict[str, object]] = None,
                     notes: str = "") -> Dict[str, object]:
-    """Build a run-record dict (everything beyond ``name`` is optional)."""
+    """Build a run-record dict (everything beyond ``name`` is optional).
+
+    Every record is stamped with a provenance block (git SHA, hash of
+    ``config``, schema version) so a baseline checked in at one commit is
+    attributable when a later commit's record regresses against it.
+    """
+    from .provenance import provenance
     record: Dict[str, object] = {
         "schema": RUN_RECORD_SCHEMA,
         "name": name,
@@ -35,6 +41,7 @@ def make_run_record(name: str, *,
             "python": platform.python_version(),
             "machine": platform.machine(),
         },
+        "provenance": provenance(config),
     }
     if stage_seconds is not None:
         record["stage_seconds"] = {k: float(v)

@@ -21,7 +21,7 @@ from .runrecord import load_run_record
 
 #: counters where *any* growth is a regression (lower is better).
 _LOWER_IS_BETTER = ("alloc", "miss", "exposed", "skip", "launch", "bytes",
-                    "reservation")
+                    "reservation", "anomal")
 
 
 def _ratio(current: float, baseline: float) -> float:
@@ -48,6 +48,62 @@ def diff_stages(baseline: Dict[str, float], current: Dict[str, float], *,
     return rows
 
 
+def diff_records(baseline: Dict[str, object], current: Dict[str, object], *,
+                 threshold: float = 0.05) -> Dict[str, object]:
+    """Machine-readable diff of two run records (``--json`` output).
+
+    One structured document: per-stage rows, counter rows, the shared
+    step-metric summary, both records' provenance, and the regression
+    count — everything the text report prints, parseable.
+    """
+    out: Dict[str, object] = {
+        "schema": "repro.obs.summarize/v1",
+        "baseline": {"name": baseline.get("name"),
+                     "provenance": baseline.get("provenance")},
+        "current": {"name": current.get("name"),
+                    "provenance": current.get("provenance")},
+        "threshold": threshold,
+        "stages": [],
+        "counters": [],
+        "metrics": {},
+        "regressions": 0,
+    }
+    regressions = 0
+
+    b_stages = baseline.get("stage_seconds")
+    c_stages = current.get("stage_seconds")
+    if b_stages and c_stages is not None:
+        for stage, base, cur, ratio, bad in diff_stages(
+                b_stages, c_stages, threshold=threshold):
+            out["stages"].append({
+                "stage": stage, "baseline_s": base, "current_s": cur,
+                "ratio": ratio, "regression": bool(bad)})
+            regressions += bad
+
+    b_counters = baseline.get("counters") or {}
+    c_counters = current.get("counters") or {}
+    for key in sorted(set(b_counters) & set(c_counters)):
+        base, cur = float(b_counters[key]), float(c_counters[key])
+        worse = (cur > base
+                 and any(tok in key.lower() for tok in _LOWER_IS_BETTER))
+        out["counters"].append({
+            "counter": key, "baseline": base, "current": cur,
+            "regression": bool(worse)})
+        regressions += worse
+
+    b_sum = _metrics_summary(baseline)
+    c_sum = _metrics_summary(current)
+    if b_sum and c_sum:
+        for key in ("tokens_per_s", "mean_loss_per_token", "skipped_steps",
+                    "new_allocs", "comm_exposed_s"):
+            if key in b_sum and key in c_sum:
+                out["metrics"][key] = {"baseline": b_sum[key],
+                                       "current": c_sum[key]}
+
+    out["regressions"] = int(regressions)
+    return out
+
+
 def summarize_run_records(baseline: Dict[str, object],
                           current: Dict[str, object], *,
                           threshold: float = 0.05
@@ -56,47 +112,35 @@ def summarize_run_records(baseline: Dict[str, object],
 
     Returns ``(report_text, regression_count)``.
     """
+    diff = diff_records(baseline, current, threshold=threshold)
     lines = [f"run-record diff: {baseline.get('name')} (baseline) vs "
              f"{current.get('name')} (current), "
              f"threshold {threshold:.0%}"]
-    regressions = 0
 
-    b_stages = baseline.get("stage_seconds")
-    c_stages = current.get("stage_seconds")
-    if b_stages and c_stages is not None:
+    if diff["stages"]:
         lines.append(f"  {'stage':<12}{'baseline ms':>14}{'current ms':>14}"
                      f"{'ratio':>8}")
-        for stage, base, cur, ratio, bad in diff_stages(
-                b_stages, c_stages, threshold=threshold):
-            flag = "  REGRESSION" if bad else ""
-            lines.append(f"  {stage:<12}{base * 1e3:>14.3f}{cur * 1e3:>14.3f}"
-                         f"{ratio:>8.3f}{flag}")
-            regressions += bad
+        for row in diff["stages"]:
+            flag = "  REGRESSION" if row["regression"] else ""
+            lines.append(f"  {row['stage']:<12}"
+                         f"{row['baseline_s'] * 1e3:>14.3f}"
+                         f"{row['current_s'] * 1e3:>14.3f}"
+                         f"{row['ratio']:>8.3f}{flag}")
 
-    b_counters = baseline.get("counters") or {}
-    c_counters = current.get("counters") or {}
-    shared = sorted(set(b_counters) & set(c_counters))
-    if shared:
+    if diff["counters"]:
         lines.append("  counters:")
-        for key in shared:
-            base, cur = float(b_counters[key]), float(c_counters[key])
-            worse = (cur > base
-                     and any(tok in key.lower()
-                             for tok in _LOWER_IS_BETTER))
-            flag = "  REGRESSION" if worse else ""
-            lines.append(f"    {key:<32}{base:>14g} -> {cur:<14g}{flag}")
-            regressions += worse
+        for row in diff["counters"]:
+            flag = "  REGRESSION" if row["regression"] else ""
+            lines.append(f"    {row['counter']:<32}{row['baseline']:>14g} "
+                         f"-> {row['current']:<14g}{flag}")
 
-    b_sum = _metrics_summary(baseline)
-    c_sum = _metrics_summary(current)
-    if b_sum and c_sum:
+    if diff["metrics"]:
         lines.append("  step metrics:")
-        for key in ("tokens_per_s", "mean_loss_per_token", "skipped_steps",
-                    "new_allocs", "comm_exposed_s"):
-            if key in b_sum and key in c_sum:
-                lines.append(f"    {key:<32}{b_sum[key]:>14g} -> "
-                             f"{c_sum[key]:<14g}")
+        for key, pair in diff["metrics"].items():
+            lines.append(f"    {key:<32}{pair['baseline']:>14g} -> "
+                         f"{pair['current']:<14g}")
 
+    regressions = diff["regressions"]
     if regressions:
         lines.append(f"  {regressions} regression(s) past the "
                      f"{threshold:.0%} threshold")
@@ -131,12 +175,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument("--threshold", type=float, default=0.05,
                    help="relative slowdown tolerated per stage "
                         "(default 0.05)")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable diff document on stdout")
     args = p.parse_args(argv)
     try:
         baseline = load_run_record(args.baseline)
         current = load_run_record(args.current)
-        report, regressions = summarize_run_records(
-            baseline, current, threshold=args.threshold)
+        if args.json:
+            import json
+            diff = diff_records(baseline, current,
+                                threshold=args.threshold)
+            report, regressions = (json.dumps(diff, indent=2,
+                                              sort_keys=True),
+                                   diff["regressions"])
+        else:
+            report, regressions = summarize_run_records(
+                baseline, current, threshold=args.threshold)
     except (OSError, ValueError) as e:
         print(f"error: {e}")
         return 2

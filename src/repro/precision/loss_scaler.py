@@ -33,6 +33,10 @@ class StaticLossScaler:
             raise ValueError(f"loss scale must be positive, got {scale}")
         self._scale = float(scale)
         self.overflows = 0
+        self.growths = 0               # always 0: kept for a uniform API
+        self.backoffs = 0
+        self.skip_streak = 0           # current consecutive overflow run
+        self.max_skip_streak = 0
 
     @property
     def scale(self) -> float:
@@ -46,7 +50,27 @@ class StaticLossScaler:
         return bad
 
     def update(self, overflow: bool) -> None:
-        """Static policy: nothing changes."""
+        """Static policy: the scale never moves; streaks are still
+        tracked (the numerics observatory's skip-streak signal)."""
+        if overflow:
+            self.skip_streak += 1
+            self.max_skip_streak = max(self.max_skip_streak,
+                                       self.skip_streak)
+        else:
+            self.skip_streak = 0
+
+    def state_dict(self) -> dict:
+        """Checkpointable numerics state (bit-exact round trip)."""
+        return {"kind": "static", "scale": self._scale,
+                "overflows": self.overflows,
+                "skip_streak": self.skip_streak,
+                "max_skip_streak": self.max_skip_streak}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._scale = float(state["scale"])
+        self.overflows = int(state["overflows"])
+        self.skip_streak = int(state.get("skip_streak", 0))
+        self.max_skip_streak = int(state.get("max_skip_streak", 0))
 
 
 class DynamicLossScaler:
@@ -77,6 +101,10 @@ class DynamicLossScaler:
         self.max_scale = max_scale
         self._good_steps = 0
         self.overflows = 0
+        self.growths = 0               # scale actually multiplied
+        self.backoffs = 0              # scale actually divided
+        self.skip_streak = 0           # current consecutive overflow run
+        self.max_skip_streak = 0
 
     @property
     def scale(self) -> float:
@@ -91,12 +119,38 @@ class DynamicLossScaler:
     def update(self, overflow: bool) -> None:
         """Advance the policy after a step attempt."""
         if overflow:
-            self._scale = max(self.min_scale,
-                              self._scale / self.scale_factor)
+            new = max(self.min_scale, self._scale / self.scale_factor)
+            if new != self._scale:
+                self.backoffs += 1
+            self._scale = new
             self._good_steps = 0
+            self.skip_streak += 1
+            self.max_skip_streak = max(self.max_skip_streak,
+                                       self.skip_streak)
         else:
             self._good_steps += 1
+            self.skip_streak = 0
             if self._good_steps >= self.scale_window:
-                self._scale = min(self.max_scale,
-                                  self._scale * self.scale_factor)
+                new = min(self.max_scale, self._scale * self.scale_factor)
+                if new != self._scale:
+                    self.growths += 1
+                self._scale = new
                 self._good_steps = 0
+
+    def state_dict(self) -> dict:
+        """Checkpointable numerics state (bit-exact round trip)."""
+        return {"kind": "dynamic", "scale": self._scale,
+                "good_steps": self._good_steps,
+                "overflows": self.overflows,
+                "growths": self.growths, "backoffs": self.backoffs,
+                "skip_streak": self.skip_streak,
+                "max_skip_streak": self.max_skip_streak}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._scale = float(state["scale"])
+        self._good_steps = int(state.get("good_steps", 0))
+        self.overflows = int(state["overflows"])
+        self.growths = int(state.get("growths", 0))
+        self.backoffs = int(state.get("backoffs", 0))
+        self.skip_streak = int(state.get("skip_streak", 0))
+        self.max_skip_streak = int(state.get("max_skip_streak", 0))

@@ -25,8 +25,8 @@ import numpy as np
 
 from .backend.device import Device, KernelLaunch, use_device
 from .config import LSConfig, get_config
-from .obs import (MetricsRecorder, SpanRecorder, perfetto_trace,
-                  use_recorder, write_trace)
+from .obs import (MetricsRecorder, NumericsCollector, SpanRecorder,
+                  perfetto_trace, use_collector, use_recorder, write_trace)
 from .data import (SyntheticLMCorpus, SyntheticTranslationCorpus,
                    batch_by_tokens, synthetic_images,
                    synthetic_sentence_pairs)
@@ -79,6 +79,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics-out", default=None, metavar="PATH",
                    help="append per-step metrics (loss, tokens/s, "
                         "loss-scale, alloc counters) as JSONL")
+    p.add_argument("--numerics-every", type=int, default=0, metavar="N",
+                   help="sample per-layer tensor health (grad norms, FP16 "
+                        "saturation, update ratios) every N steps; 0 "
+                        "disables the numerics observatory")
+    p.add_argument("--halt-on-anomaly", action="store_true",
+                   help="stop the run on the first error-severity "
+                        "numerics anomaly (exit code 3)")
+    p.add_argument("--anomaly-dump", default=None, metavar="PATH",
+                   help="with --halt-on-anomaly: write a diagnostic "
+                        "snapshot (recent numerics records + anomalies) "
+                        "here before halting")
     return p
 
 
@@ -170,17 +181,33 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     dev = Device(lib=lib)
     recorder = SpanRecorder() if args.trace_out else None
-    metrics = (MetricsRecorder(path=args.metrics_out)
+    metrics = (MetricsRecorder(path=args.metrics_out, config=vars(args))
                if args.metrics_out else None)
+    collector = None
+    if args.numerics_every > 0:
+        from .obs.health import AnomalyEngine
+        collector = NumericsCollector(
+            args.numerics_every, metrics=metrics, engine=AnomalyEngine(),
+            halt_on_anomaly=args.halt_on_anomaly,
+            dump_path=args.anomaly_dump)
     kept_launches: List[KernelLaunch] = []
     window_loss = window_tokens = 0
     window_t0 = time.perf_counter()
+    halted = None
     with use_device(dev), \
-            (use_recorder(recorder) if recorder else nullcontext()):
+            (use_recorder(recorder) if recorder else nullcontext()), \
+            (use_collector(collector) if collector else nullcontext()):
         for step in range(1, args.steps + 1):
             step_t0 = time.perf_counter()
-            res = train_step(model, trainer, batch_fn(step - 1),
-                             lr=sched.lr(trainer.step_count + 1))
+            try:
+                res = train_step(model, trainer, batch_fn(step - 1),
+                                 lr=sched.lr(trainer.step_count + 1))
+            except Exception as e:
+                from .obs.health import AnomalyHalted
+                if not isinstance(e, AnomalyHalted):
+                    raise
+                halted = e.anomaly
+                break
             if metrics is not None:
                 metrics.observe_step(
                     step=step, loss=res.loss, num_tokens=res.num_tokens,
@@ -203,9 +230,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                          if trainer.skipped_steps else ""))
                 window_loss = window_tokens = 0
                 window_t0 = time.perf_counter()
+    anomalies = collector.engine.anomalies if collector else []
     if args.trace_out:
         write_trace(args.trace_out, perfetto_trace(
             spans=recorder.spans, kernels=kept_launches, spec=spec,
+            anomalies=anomalies or None,
             metadata={"task": args.task, "trainer": args.trainer,
                       "steps": args.steps, "gpu": args.gpu}))
         print(f"trace written to {args.trace_out} "
@@ -217,6 +246,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.save_dir:
         save_checkpoint(model, trainer, args.save_dir)
         print(f"checkpoint written to {args.save_dir}")
+    if collector:
+        if anomalies:
+            print(f"numerics: {len(anomalies)} anomalies "
+                  f"({sum(1 for a in anomalies if a.severity == 'error')} "
+                  f"errors); first: {anomalies[0]}")
+        else:
+            print(f"numerics: no anomalies in "
+                  f"{len(collector.records)} observed steps")
+    if halted is not None:
+        print(f"HALTED on anomaly: {halted}"
+              + (f" (snapshot: {args.anomaly_dump})"
+                 if args.anomaly_dump else ""))
+        return 3
     return 0
 
 

@@ -14,6 +14,7 @@ from typing import Callable, Iterable, List, Optional, Sequence
 
 from ..backend.device import current_device
 from ..layers.base import Layer
+from ..obs.numerics import current_collector
 from ..obs.spans import span
 from .trainer import TrainerBase
 
@@ -41,7 +42,10 @@ def train_step(model: Layer, trainer: TrainerBase, batch: Sequence, *,
     on the fused path — matching §3.2.
     """
     dev = current_device()
+    col = current_collector()
     with span("train/step"):
+        if col is not None:
+            col.begin_step(trainer.step_count + 1)
         with span("train/zero_grad"):
             trainer.zero_grad()
         scale = trainer.scaler.scale if trainer.scaler is not None else 1.0
@@ -50,8 +54,17 @@ def train_step(model: Layer, trainer: TrainerBase, batch: Sequence, *,
         with dev.stage_scope("backward"), span("train/backward"):
             model.backward(grad_scale=scale)
         gs = 1.0 / (scale * max(ntok, 1))
+        if col is not None and col.active:
+            with span("numerics/collect"):
+                col.collect_pre_update(trainer, grad_scale=gs)
         with span("train/update"):
             applied = trainer.step(lr=lr, grad_scale=gs)
+        if col is not None and col.active:
+            with span("numerics/collect"):
+                col.collect_post_update(trainer)
+        if col is not None:
+            col.finish_step(loss=loss, num_tokens=ntok, applied=applied,
+                            scaler=trainer.scaler)
     return StepResult(loss=loss, num_tokens=ntok, applied=applied)
 
 
@@ -105,7 +118,10 @@ def train_step_accumulated(model: Layer, trainer: TrainerBase,
     if not microbatches:
         raise ValueError("no microbatches")
     dev = current_device()
+    col = current_collector()
     with span("train/step"):
+        if col is not None:
+            col.begin_step(trainer.step_count + 1)
         with span("train/zero_grad"):
             trainer.zero_grad()
         scale = trainer.scaler.scale if trainer.scaler is not None else 1.0
@@ -119,7 +135,16 @@ def train_step_accumulated(model: Layer, trainer: TrainerBase,
             total_loss += loss
             total_tokens += ntok
         gs = 1.0 / (scale * max(total_tokens, 1))
+        if col is not None and col.active:
+            with span("numerics/collect"):
+                col.collect_pre_update(trainer, grad_scale=gs)
         with span("train/update"):
             applied = trainer.step(lr=lr, grad_scale=gs)
+        if col is not None and col.active:
+            with span("numerics/collect"):
+                col.collect_post_update(trainer)
+        if col is not None:
+            col.finish_step(loss=total_loss, num_tokens=total_tokens,
+                            applied=applied, scaler=trainer.scaler)
     return StepResult(loss=total_loss, num_tokens=total_tokens,
                       applied=applied)

@@ -66,23 +66,15 @@ def load_model(model: Layer, path: _PathLike, *, strict: bool = True) -> None:
 def _scaler_state(scaler) -> Optional[dict]:
     if scaler is None:
         return None
-    if isinstance(scaler, DynamicLossScaler):
-        return {"kind": "dynamic", "scale": scaler.scale,
-                "good_steps": scaler._good_steps,
-                "overflows": scaler.overflows}
-    if isinstance(scaler, StaticLossScaler):
-        return {"kind": "static", "scale": scaler.scale,
-                "overflows": scaler.overflows}
+    if isinstance(scaler, (DynamicLossScaler, StaticLossScaler)):
+        return scaler.state_dict()
     raise TypeError(f"unknown scaler type {type(scaler)}")
 
 
 def _restore_scaler(scaler, state: Optional[dict]) -> None:
     if state is None or scaler is None:
         return
-    scaler._scale = float(state["scale"])
-    scaler.overflows = int(state["overflows"])
-    if state["kind"] == "dynamic":
-        scaler._good_steps = int(state["good_steps"])
+    scaler.load_state_dict(state)
 
 
 def save_trainer(trainer: TrainerBase, path: _PathLike) -> None:

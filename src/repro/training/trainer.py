@@ -57,6 +57,18 @@ class TrainerBase:
     def _grads(self) -> Sequence[np.ndarray]:
         raise NotImplementedError
 
+    # -- numerics-observatory walk (repro.obs.numerics) ------------------------
+
+    def named_grads(self):
+        """Ordered (name, gradient array) pairs for per-layer telemetry."""
+        for p in self.params:
+            yield p.name, p.grad
+
+    def named_params(self):
+        """Ordered (name, parameter array) pairs for per-layer telemetry."""
+        for p in self.params:
+            yield p.name, p.data
+
     def _apply(self, lr: float, grad_scale: float) -> None:
         raise NotImplementedError
 
@@ -239,6 +251,13 @@ class LSFusedTrainer(TrainerBase):
 
     def _grads(self) -> Sequence[np.ndarray]:
         return [self.workspace.grads]      # ONE overflow check, not hundreds
+
+    def named_grads(self):
+        """Walk the contiguous grad slab — zero-copy views per layer."""
+        return self.workspace.named_grad_views()
+
+    def named_params(self):
+        return self.workspace.named_param_views()
 
     def zero_grad(self) -> None:
         self.workspace.zero_grad()         # single memset launch

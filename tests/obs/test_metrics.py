@@ -5,7 +5,8 @@ import json
 import pytest
 
 from repro.backend.profiler import count_fresh_alloc, reset_alloc_counters
-from repro.obs.metrics import MetricsRecorder, StepMetrics, read_jsonl
+from repro.obs.metrics import (METRICS_SCHEMA, MetricsRecorder, StepMetrics,
+                               event_records, read_jsonl, step_records)
 from repro.precision.loss_scaler import DynamicLossScaler
 from repro.sim.timeline import BucketSchedule
 
@@ -59,12 +60,13 @@ def test_streaming_jsonl_one_object_per_line(tmp_path):
                          wall_s=0.1)
     raw = open(path).read()
     lines = raw.splitlines()
-    assert len(lines) == 3
+    assert len(lines) == 4             # header event + 3 steps
     for line in lines:
         json.loads(line)               # each line is a standalone object
     parsed = read_jsonl(path)
-    assert [m["step"] for m in parsed] == [1, 2, 3]
-    assert all("tokens_per_s" in m and "loss_per_token" in m for m in parsed)
+    steps = step_records(parsed)
+    assert [m["step"] for m in steps] == [1, 2, 3]
+    assert all("tokens_per_s" in m and "loss_per_token" in m for m in steps)
 
 
 def test_write_jsonl_appends(tmp_path):
@@ -75,7 +77,49 @@ def test_write_jsonl_appends(tmp_path):
     second = MetricsRecorder()
     second.observe_step(step=2, loss=1.0, num_tokens=8, wall_s=0.1)
     second.write_jsonl(path)           # append-only trajectory
-    assert [m["step"] for m in read_jsonl(path)] == [1, 2]
+    assert [m["step"] for m in step_records(read_jsonl(path))] == [1, 2]
+
+
+def test_header_event_carries_provenance(tmp_path):
+    path = str(tmp_path / "m.jsonl")
+    MetricsRecorder(path=path, config={"preset": "x"})
+    rows = read_jsonl(path)
+    assert len(rows) == 1
+    header = rows[0]
+    assert header["event"] == "header"
+    assert header["schema"] == METRICS_SCHEMA
+    assert "config_hash" in header and "git_sha" in header
+    # and it is filterable as an event record
+    assert event_records(rows, "header") == [header]
+    assert step_records(rows) == []
+
+
+def test_provenance_header_can_be_disabled():
+    rec = MetricsRecorder(provenance=False)
+    assert rec.events == []
+
+
+def test_observe_event_streams(tmp_path):
+    path = str(tmp_path / "m.jsonl")
+    rec = MetricsRecorder(path=path, provenance=False)
+    rec.observe_event("anomaly", kind="nonfinite_grad", step=7)
+    rec.observe_step(step=7, loss=1.0, num_tokens=8, wall_s=0.1)
+    rows = read_jsonl(path)
+    assert [r.get("event") for r in rows] == ["anomaly", None]
+    assert event_records(rows, "anomaly")[0]["step"] == 7
+
+
+def test_scaler_dynamics_columns():
+    scaler = DynamicLossScaler(init_scale=2.0 ** 8, scale_window=1)
+    rec = MetricsRecorder(provenance=False)
+    scaler.update(True)                # backoff
+    m = rec.observe_step(step=1, loss=1.0, num_tokens=8, wall_s=0.1,
+                         applied=False, scaler=scaler)
+    assert m.scale_backoffs == 1 and m.skip_streak == 1
+    scaler.update(False)               # growth (window=1)
+    m = rec.observe_step(step=2, loss=1.0, num_tokens=8, wall_s=0.1,
+                         scaler=scaler)
+    assert m.scale_growths == 1 and m.skip_streak == 0
 
 
 def test_read_jsonl_reports_bad_line(tmp_path):

@@ -1,0 +1,58 @@
+"""Provenance stamps: git SHA, config hash, schema version."""
+
+import json
+
+from repro.obs.metrics import MetricsRecorder, read_jsonl
+from repro.obs.provenance import (PROVENANCE_SCHEMA, config_hash, git_sha,
+                                  provenance)
+from repro.obs.runrecord import make_run_record
+
+
+def test_git_sha_shape():
+    sha = git_sha()
+    assert sha is None or (len(sha) == 40
+                           and all(c in "0123456789abcdef" for c in sha))
+
+
+def test_config_hash_is_order_independent():
+    a = config_hash({"lr": 1e-3, "steps": 5})
+    b = config_hash({"steps": 5, "lr": 1e-3})
+    assert a == b and len(a) == 12
+
+
+def test_config_hash_distinguishes_configs():
+    assert config_hash({"lr": 1e-3}) != config_hash({"lr": 2e-3})
+
+
+def test_config_hash_survives_unserialisable_values():
+    # argparse namespaces carry arbitrary objects; the hash must not raise
+    h = config_hash({"fn": object()})
+    assert len(h) == 12
+
+
+def test_provenance_document():
+    doc = provenance({"x": 1})
+    assert doc["provenance_schema"] == PROVENANCE_SCHEMA
+    assert doc["config_hash"] == config_hash({"x": 1})
+    assert "python" in doc
+
+
+def test_run_record_stamped():
+    rec = make_run_record("t", counters={"c": 1})
+    assert rec["provenance"]["provenance_schema"] == PROVENANCE_SCHEMA
+    assert "config_hash" in rec["provenance"]
+
+
+def test_metrics_stream_header_is_first_line(tmp_path):
+    path = tmp_path / "m.jsonl"
+    m = MetricsRecorder(str(path), config={"seed": 0})
+    m.observe_step(step=1, loss=1.0, num_tokens=2, wall_s=0.1)
+    rows = read_jsonl(str(path))
+    assert rows[0].get("event") == "header"
+    assert rows[0]["config_hash"] == config_hash({"seed": 0})
+    assert rows[0]["schema"].startswith("repro.obs.metrics/")
+
+
+def test_header_json_serialisable():
+    m = MetricsRecorder(config={"a": [1, 2]})
+    json.dumps(m.events[0])

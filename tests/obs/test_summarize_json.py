@@ -1,0 +1,77 @@
+"""Machine-readable run-record diffs: diff_records + `summarize --json`."""
+
+import json
+
+from repro.obs.runrecord import make_run_record, write_run_record
+from repro.obs.summarize import diff_records, main, summarize_run_records
+
+
+def _rec(name="t", *, stages=None, counters=None, metrics=None):
+    return make_run_record(name, stage_seconds=stages, counters=counters,
+                           metrics=metrics)
+
+
+class TestDiffRecords:
+    def test_structure(self):
+        base = _rec(stages={"forward": 1.0}, counters={"anomalies": 0})
+        cur = _rec(stages={"forward": 1.02}, counters={"anomalies": 0})
+        d = diff_records(base, cur)
+        assert d["schema"] == "repro.obs.summarize/v1"
+        assert d["baseline"]["provenance"] and d["current"]["provenance"]
+        assert d["regressions"] == 0
+        (row,) = d["stages"]
+        assert row["stage"] == "forward" and not row["regression"]
+        (crow,) = d["counters"]
+        assert crow["counter"] == "anomalies" and not crow["regression"]
+
+    def test_stage_regression_counted(self):
+        d = diff_records(_rec(stages={"fwd": 1.0}),
+                         _rec(stages={"fwd": 1.2}), threshold=0.05)
+        assert d["regressions"] == 1 and d["stages"][0]["regression"]
+
+    def test_anomaly_counter_growth_is_regression(self):
+        d = diff_records(_rec(counters={"anomalies": 0}),
+                         _rec(counters={"anomalies": 2}))
+        assert d["regressions"] == 1
+
+    def test_neutral_counter_growth_ignored(self):
+        d = diff_records(_rec(counters={"elapsed_s": 1.0}),
+                         _rec(counters={"elapsed_s": 99.0}))
+        assert d["regressions"] == 0
+
+    def test_metrics_pairs_informational(self):
+        rows = [{"step": 1, "loss": 2.0, "num_tokens": 4, "wall_s": 0.5,
+                 "applied": True}]
+        d = diff_records(_rec(metrics=rows), _rec(metrics=rows))
+        assert d["metrics"]["tokens_per_s"]["baseline"] == \
+            d["metrics"]["tokens_per_s"]["current"] == 8.0
+        assert d["regressions"] == 0
+
+    def test_text_report_matches_diff(self):
+        base = _rec(stages={"fwd": 1.0})
+        cur = _rec(stages={"fwd": 2.0})
+        text, n = summarize_run_records(base, cur)
+        assert n == diff_records(base, cur)["regressions"] == 1
+        assert "REGRESSION" in text
+
+
+class TestCLI:
+    def _paths(self, tmp_path, base, cur):
+        bp, cp = tmp_path / "b.json", tmp_path / "c.json"
+        write_run_record(str(bp), base)
+        write_run_record(str(cp), cur)
+        return str(bp), str(cp)
+
+    def test_json_flag(self, tmp_path, capsys):
+        bp, cp = self._paths(tmp_path, _rec(stages={"fwd": 1.0}),
+                             _rec(stages={"fwd": 1.0}))
+        assert main([bp, cp, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro.obs.summarize/v1"
+        assert doc["regressions"] == 0
+
+    def test_json_regression_exit_one(self, tmp_path, capsys):
+        bp, cp = self._paths(tmp_path, _rec(counters={"anomalies": 0}),
+                             _rec(counters={"anomalies": 1}))
+        assert main([bp, cp, "--json"]) == 1
+        assert json.loads(capsys.readouterr().out)["regressions"] == 1

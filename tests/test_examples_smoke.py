@@ -49,6 +49,15 @@ def test_observability_tour():
     assert "no regressions" in out   # fused must not regress vs naive
 
 
+def test_numerics_tour():
+    out = _run("numerics_tour.py")
+    assert "healthy run" in out and "anomalies: 0" in out
+    assert "run HALTED" in out
+    assert "attributed layer: transformer.enc0 " \
+           "(expected transformer.enc0)" in out
+    assert "run is HEALTHY" in out
+
+
 @pytest.mark.slow
 def test_train_translation():
     out = _run("train_translation.py", timeout=400)
