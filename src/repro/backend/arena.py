@@ -79,6 +79,9 @@ class ActivationArena:
         self._plan_cache: Dict[tuple, Tuple[Dict[str, int], int]] = {}
         self.steps = 0
         self.reservations = 0
+        #: bumped on every (re-)reservation: captured programs bake views of
+        #: the slab in, so a new slab invalidates them (see backend.program)
+        self.generation = 0
 
     # -- introspection ------------------------------------------------------
 
@@ -110,6 +113,7 @@ class ActivationArena:
             self._alloc.reserve(nbytes)
             self._slab = np.empty(self._alloc.reserved_bytes, dtype=np.uint8)
             self.reservations += 1
+            self.generation += 1
 
     def begin_step(self) -> None:
         """Start a step: rewind the bump cursor, re-reserving on growth."""

@@ -25,6 +25,8 @@ from ..arena import current_arena
 from ..device import current_device
 from ..dtypes import itemsize
 from ..profiler import count_fresh_alloc
+from ..program import capturable  # noqa: F401  (the launch-interception hook
+#                                  every kernel module decorates through)
 
 
 def record(name: str, elems_read: int, elems_written: int, *, flops: int = 0,
@@ -85,6 +87,7 @@ from . import (  # noqa: E402  (re-export after helpers they depend on)
 )
 
 __all__ = [
-    "record", "elems", "out_buffer", "gemm", "elementwise", "layernorm",
-    "softmax", "embedding", "criterion", "transform", "optimizer", "padding",
+    "record", "elems", "out_buffer", "capturable", "gemm", "elementwise",
+    "layernorm", "softmax", "embedding", "criterion", "transform",
+    "optimizer", "padding",
 ]

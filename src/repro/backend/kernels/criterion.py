@@ -36,7 +36,7 @@ from typing import Tuple
 
 import numpy as np
 
-from . import out_buffer, record
+from . import capturable, out_buffer, record
 from .softmax import log_softmax_forward_fused, log_softmax_forward_naive
 
 
@@ -46,6 +46,7 @@ def _flatten(logits: np.ndarray, targets: np.ndarray
     return logits.reshape(-1, v), targets.reshape(-1)
 
 
+@capturable({"out_q": 2}, loss_source=True)
 def criterion_forward_naive(logits: np.ndarray, targets: np.ndarray,
                             alpha: float, *, ignore_index: int = -100,
                             fp16: bool = False, out_q=None
@@ -75,6 +76,7 @@ def criterion_forward_naive(logits: np.ndarray, targets: np.ndarray,
     return loss, int(valid.sum()), q.reshape(logits.shape)
 
 
+@capturable({"out": 0})
 def criterion_backward_naive(q: np.ndarray, targets: np.ndarray,
                              alpha: float, *, ignore_index: int = -100,
                              grad_scale: float = 1.0,
@@ -99,6 +101,7 @@ def criterion_backward_naive(q: np.ndarray, targets: np.ndarray,
     return dout
 
 
+@capturable({"out_q": 2}, loss_source=True)
 def criterion_forward_fused(logits: np.ndarray, targets: np.ndarray,
                             alpha: float, *, ignore_index: int = -100,
                             fp16: bool = False, out_q=None
@@ -121,6 +124,7 @@ def criterion_forward_fused(logits: np.ndarray, targets: np.ndarray,
     return loss, int(valid.sum()), q.reshape(logits.shape)
 
 
+@capturable({"out": 0})
 def criterion_backward_fused(q: np.ndarray, targets: np.ndarray,
                              alpha: float, *, ignore_index: int = -100,
                              grad_scale: float = 1.0,

@@ -30,13 +30,14 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from . import out_buffer, record
+from . import capturable, out_buffer, record
 
 # ---------------------------------------------------------------------------
 # naive single-op kernels (PyTorch-style: one launch each)
 # ---------------------------------------------------------------------------
 
 
+@capturable({"out": 0})
 def bias_add_naive(x: np.ndarray, bias: np.ndarray, *,
                    fp16: bool = False, out=None) -> np.ndarray:
     """One kernel: broadcast bias add over the last dimension."""
@@ -46,6 +47,7 @@ def bias_add_naive(x: np.ndarray, bias: np.ndarray, *,
     return y
 
 
+@capturable({"out": 0})
 def bias_grad_naive(dy: np.ndarray, *, fp16: bool = False,
                     out=None) -> np.ndarray:
     """One kernel: reduce dy over all leading dims -> dbias."""
@@ -74,6 +76,7 @@ def _mask_traffic(mask: Optional[np.ndarray]) -> int:
     return mask.size // 4 + 1 if mask is not None else 0
 
 
+@capturable({"out": 0})
 def dropout_forward_naive(x: np.ndarray, p: float, rng: np.random.Generator,
                           *, fp16: bool = False,
                           mask: Optional[np.ndarray] = None, out=None
@@ -94,6 +97,7 @@ def dropout_forward_naive(x: np.ndarray, p: float, rng: np.random.Generator,
     return y, mask
 
 
+@capturable({"out": 0})
 def dropout_backward_naive(dy: np.ndarray, mask: Optional[np.ndarray],
                            p: float, *, fp16: bool = False,
                            out=None) -> np.ndarray:
@@ -111,6 +115,7 @@ def dropout_backward_naive(dy: np.ndarray, mask: Optional[np.ndarray],
     return dx
 
 
+@capturable({"out": 0})
 def relu_forward_naive(x: np.ndarray, *, fp16: bool = False,
                        out=None) -> np.ndarray:
     y = out_buffer(out, x.shape, x.dtype)
@@ -119,6 +124,7 @@ def relu_forward_naive(x: np.ndarray, *, fp16: bool = False,
     return y
 
 
+@capturable({"out": 0})
 def relu_backward_naive(dy: np.ndarray, x: np.ndarray, *,
                         fp16: bool = False, out=None) -> np.ndarray:
     dx = out_buffer(out, dy.shape, dy.dtype)
@@ -131,6 +137,7 @@ _GELU_C = np.float32(np.sqrt(2.0 / np.pi))
 _GELU_A = np.float32(0.044715)
 
 
+@capturable({"out": 0})
 def gelu_forward_naive(x: np.ndarray, *, fp16: bool = False,
                        out=None) -> np.ndarray:
     """tanh-approximation GeLU (the variant BERT and its CUDA kernels use)."""
@@ -141,6 +148,7 @@ def gelu_forward_naive(x: np.ndarray, *, fp16: bool = False,
     return y
 
 
+@capturable({"out": 0})
 def gelu_backward_naive(dy: np.ndarray, x: np.ndarray, *,
                         fp16: bool = False, out=None) -> np.ndarray:
     inner = _GELU_C * (x + _GELU_A * x ** 3)
@@ -154,6 +162,7 @@ def gelu_backward_naive(dy: np.ndarray, x: np.ndarray, *,
     return dx
 
 
+@capturable({"out": 0})
 def tanh_forward_naive(x: np.ndarray, *, fp16: bool = False,
                        out=None) -> np.ndarray:
     """One kernel: tanh (BERT pooler activation)."""
@@ -163,6 +172,7 @@ def tanh_forward_naive(x: np.ndarray, *, fp16: bool = False,
     return y
 
 
+@capturable({"out": 0})
 def tanh_backward_naive(dy: np.ndarray, y: np.ndarray, *,
                         fp16: bool = False, out=None) -> np.ndarray:
     """One kernel: dx = dy * (1 - y^2), using the saved output."""
@@ -173,6 +183,7 @@ def tanh_backward_naive(dy: np.ndarray, y: np.ndarray, *,
     return dx
 
 
+@capturable({"out": 0})
 def bias_tanh_forward_fused(x: np.ndarray, bias: np.ndarray, *,
                             fp16: bool = False, out=None) -> np.ndarray:
     """Fused ``tanh(x + b)`` in one launch (LS pooler epilogue)."""
@@ -183,6 +194,7 @@ def bias_tanh_forward_fused(x: np.ndarray, bias: np.ndarray, *,
     return y
 
 
+@capturable({"out_dx": 0, "out_dbias": 1})
 def bias_tanh_backward_fused(dy: np.ndarray, y: np.ndarray, *,
                              fp16: bool = False, out_dx=None, out_dbias=None
                              ) -> Tuple[np.ndarray, np.ndarray]:
@@ -196,6 +208,7 @@ def bias_tanh_backward_fused(dy: np.ndarray, y: np.ndarray, *,
     return dx, dbias
 
 
+@capturable({"out": 0})
 def residual_add_naive(x: np.ndarray, residual: np.ndarray, *,
                        fp16: bool = False, out=None) -> np.ndarray:
     y = out_buffer(out, x.shape, np.result_type(x, residual))
@@ -205,6 +218,7 @@ def residual_add_naive(x: np.ndarray, residual: np.ndarray, *,
     return y
 
 
+@capturable({"out": 0})
 def scale_naive(x: np.ndarray, s: float, *, fp16: bool = False,
                 out=None) -> np.ndarray:
     y = out_buffer(out, x.shape, x.dtype)
@@ -218,6 +232,7 @@ def scale_naive(x: np.ndarray, s: float, *, fp16: bool = False,
 # ---------------------------------------------------------------------------
 
 
+@capturable({"out": 0})
 def bias_dropout_residual_forward(x: np.ndarray, bias: np.ndarray,
                                   residual: np.ndarray, p: float,
                                   rng: np.random.Generator, *,
@@ -244,6 +259,7 @@ def bias_dropout_residual_forward(x: np.ndarray, bias: np.ndarray,
     return y, mask
 
 
+@capturable({"out_dx": 0, "out_dbias": 1})
 def bias_dropout_residual_backward(dy: np.ndarray,
                                    mask: Optional[np.ndarray],
                                    p: float, *, fp16: bool = False,
@@ -271,6 +287,7 @@ def bias_dropout_residual_backward(dy: np.ndarray,
     return dx, dbias, dy
 
 
+@capturable({"out": 0, "out_pre": 2})
 def bias_act_dropout_forward(x: np.ndarray, bias: np.ndarray, p: float,
                              rng: np.random.Generator, *,
                              activation: str = "relu", fp16: bool = False,
@@ -307,6 +324,7 @@ def bias_act_dropout_forward(x: np.ndarray, bias: np.ndarray, p: float,
     return y, mask, pre
 
 
+@capturable({"out_dx": 0, "out_dbias": 1})
 def bias_act_dropout_backward(dy: np.ndarray, mask: Optional[np.ndarray],
                               pre_act: np.ndarray, p: float, *,
                               activation: str = "relu", fp16: bool = False,
@@ -337,6 +355,7 @@ def bias_act_dropout_backward(dy: np.ndarray, mask: Optional[np.ndarray],
     return dx, dbias
 
 
+@capturable({"out": 0})
 def dropout_residual_forward(x: np.ndarray, residual: np.ndarray, p: float,
                              rng: np.random.Generator, *, fp16: bool = False,
                              mask: Optional[np.ndarray] = None, out=None

@@ -31,7 +31,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from . import out_buffer, record
+from . import capturable, out_buffer, record
 from .elementwise import _mask_traffic, make_dropout_mask
 
 
@@ -65,6 +65,7 @@ def _validate(tokens: np.ndarray, table: np.ndarray,
         raise ValueError("token id out of vocabulary range")
 
 
+@capturable({"out": 0})
 def embedding_forward_naive(tokens: np.ndarray, table: np.ndarray,
                             pos_table: np.ndarray, scale: float, p: float,
                             rng: np.random.Generator, *, fp16: bool = False,
@@ -101,6 +102,7 @@ def embedding_forward_naive(tokens: np.ndarray, table: np.ndarray,
     return y, mask
 
 
+@capturable({"out": 0})
 def embedding_forward_fused(tokens: np.ndarray, table: np.ndarray,
                             pos_table: np.ndarray, scale: float, p: float,
                             rng: np.random.Generator, *, fp16: bool = False,
@@ -128,6 +130,7 @@ def embedding_forward_fused(tokens: np.ndarray, table: np.ndarray,
     return y, mask
 
 
+@capturable({"out": 0})
 def embedding_backward_naive(dy: np.ndarray, tokens: np.ndarray,
                              mask: Optional[np.ndarray], scale: float,
                              p: float, vocab_size: int, *,
@@ -157,6 +160,7 @@ def embedding_backward_naive(dy: np.ndarray, tokens: np.ndarray,
     return grad
 
 
+@capturable({"out": 0})
 def embedding_backward_fused(dy: np.ndarray, tokens: np.ndarray,
                              mask: Optional[np.ndarray], scale: float,
                              p: float, vocab_size: int, *,

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from . import out_buffer, record
+from . import capturable, out_buffer, record
 
 
 def _gemm_flops(a: np.ndarray, b: np.ndarray, out: np.ndarray) -> int:
@@ -33,6 +33,7 @@ def _mm_shape(a: np.ndarray, b: np.ndarray) -> tuple:
     return lead + (a.shape[-2], b.shape[-1])
 
 
+@capturable({"out": 0})
 def matmul(a: np.ndarray, b: np.ndarray, *, fp16: bool = False,
            name: str = "gemm", out=None) -> np.ndarray:
     """``a @ b`` as one cuBLAS GEMM launch."""
@@ -43,6 +44,7 @@ def matmul(a: np.ndarray, b: np.ndarray, *, fp16: bool = False,
     return out
 
 
+@capturable({"out": 0})
 def linear_forward(x: np.ndarray, w: np.ndarray, *, fp16: bool = False,
                    name: str = "gemm_linear", out=None) -> np.ndarray:
     """Linear transform ``x @ w.T`` (fairseq weight layout: (out, in)).
@@ -59,6 +61,7 @@ def linear_forward(x: np.ndarray, w: np.ndarray, *, fp16: bool = False,
     return out
 
 
+@capturable({"out_dx": 0, "out_dw": 1})
 def linear_backward(x: np.ndarray, w: np.ndarray, dy: np.ndarray, *,
                     fp16: bool = False, name: str = "gemm_linear",
                     out_dx=None, out_dw=None) -> tuple:
@@ -83,6 +86,7 @@ def linear_backward(x: np.ndarray, w: np.ndarray, dy: np.ndarray, *,
     return dx, dw
 
 
+@capturable({"out": 0})
 def batched_matmul(a: np.ndarray, b: np.ndarray, *, fp16: bool = False,
                    name: str = "gemm_batched", out=None) -> np.ndarray:
     """Batched GEMM (attention QK^T and probs@V). One strided-batch launch."""

@@ -45,7 +45,7 @@ from typing import Tuple
 
 import numpy as np
 
-from . import out_buffer, record
+from . import capturable, out_buffer, record
 
 
 def _check(x: np.ndarray, w: np.ndarray, b: np.ndarray) -> None:
@@ -59,6 +59,7 @@ def _stat_shape(x: np.ndarray) -> tuple:
     return x.shape[:-1] + (1,)
 
 
+@capturable({"out": 0, "out_mu": 1, "out_rstd": 2})
 def layernorm_forward_naive(x: np.ndarray, w: np.ndarray, b: np.ndarray, *,
                             eps: float = 1e-5, fp16: bool = False,
                             out=None, out_mu=None, out_rstd=None
@@ -85,6 +86,7 @@ def layernorm_forward_naive(x: np.ndarray, w: np.ndarray, b: np.ndarray, *,
     return y, mu, rstd
 
 
+@capturable({"out": 0, "out_mu": 1, "out_rstd": 2})
 def layernorm_forward_fused(x: np.ndarray, w: np.ndarray, b: np.ndarray, *,
                             eps: float = 1e-5, fp16: bool = False,
                             out=None, out_mu=None, out_rstd=None
@@ -107,6 +109,7 @@ def layernorm_forward_fused(x: np.ndarray, w: np.ndarray, b: np.ndarray, *,
     return y, mu, rstd
 
 
+@capturable({"out_dx": 0, "out_dw": 1, "out_db": 2})
 def layernorm_backward_naive(dy: np.ndarray, x: np.ndarray, w: np.ndarray,
                              mu: np.ndarray, rstd: np.ndarray, *,
                              fp16: bool = False, out_dx=None, out_dw=None,
@@ -137,6 +140,7 @@ def layernorm_backward_naive(dy: np.ndarray, x: np.ndarray, w: np.ndarray,
     return dx, dw, db
 
 
+@capturable({"out_dx": 0, "out_dw": 1, "out_db": 2})
 def layernorm_backward_fused(dy: np.ndarray, x: np.ndarray, w: np.ndarray,
                              mu: np.ndarray, rstd: np.ndarray, *,
                              fp16: bool = False, out_dx=None, out_dw=None,

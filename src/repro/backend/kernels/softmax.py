@@ -37,9 +37,10 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from . import out_buffer, record
+from . import capturable, out_buffer, record
 
 
+@capturable({"out": 0})
 def softmax_forward_naive(x: np.ndarray, *, axis: int = -1,
                           fp16: bool = False, out=None) -> np.ndarray:
     """Framework softmax: ONE generic kernel, multi-pass traffic.
@@ -57,6 +58,7 @@ def softmax_forward_naive(x: np.ndarray, *, axis: int = -1,
     return y
 
 
+@capturable({"out": 0})
 def softmax_forward_fused(x: np.ndarray, *, axis: int = -1,
                           fp16: bool = False, out=None) -> np.ndarray:
     """All three steps in one launch (CUB block reduce analog)."""
@@ -68,6 +70,7 @@ def softmax_forward_fused(x: np.ndarray, *, axis: int = -1,
     return y
 
 
+@capturable({"out": 0})
 def softmax_backward_naive(dy: np.ndarray, y: np.ndarray, *, axis: int = -1,
                            fp16: bool = False, out=None) -> np.ndarray:
     """Framework softmax backward: one kernel, dot-reduce pass + apply
@@ -80,6 +83,7 @@ def softmax_backward_naive(dy: np.ndarray, y: np.ndarray, *, axis: int = -1,
     return dx
 
 
+@capturable({"out": 0})
 def softmax_backward_fused(dy: np.ndarray, y: np.ndarray, *, axis: int = -1,
                            fp16: bool = False, out=None) -> np.ndarray:
     """Single launch, parallel warp reductions."""
@@ -96,6 +100,7 @@ def softmax_backward_fused(dy: np.ndarray, y: np.ndarray, *, axis: int = -1,
 # ---------------------------------------------------------------------------
 
 
+@capturable({"out": 0})
 def attn_softmax_forward_naive(scores: np.ndarray, scale: float,
                                mask: Optional[np.ndarray], *,
                                fp16: bool = False, out=None) -> np.ndarray:
@@ -110,6 +115,7 @@ def attn_softmax_forward_naive(scores: np.ndarray, scale: float,
     return softmax_forward_naive(s, fp16=fp16, out=out)
 
 
+@capturable({"out": 0})
 def attn_softmax_forward_fused(scores: np.ndarray, scale: float,
                                mask: Optional[np.ndarray], *,
                                fp16: bool = False, out=None) -> np.ndarray:
@@ -127,6 +133,7 @@ def attn_softmax_forward_fused(scores: np.ndarray, scale: float,
     return y
 
 
+@capturable({"out": 0})
 def attn_softmax_backward_naive(dy: np.ndarray, y: np.ndarray, scale: float,
                                 *, fp16: bool = False, out=None) -> np.ndarray:
     """Baseline: softmax backward (2 launches) + un-scale kernel."""
@@ -137,6 +144,7 @@ def attn_softmax_backward_naive(dy: np.ndarray, y: np.ndarray, scale: float,
     return dscores
 
 
+@capturable({"out": 0})
 def attn_softmax_backward_fused(dy: np.ndarray, y: np.ndarray, scale: float,
                                 *, fp16: bool = False, out=None) -> np.ndarray:
     """Fused softmax backward with the scale folded in: one launch."""
@@ -154,6 +162,7 @@ def attn_softmax_backward_fused(dy: np.ndarray, y: np.ndarray, scale: float,
 # ---------------------------------------------------------------------------
 
 
+@capturable({"out_logq": 0, "out_q": 1})
 def log_softmax_forward_fused(x: np.ndarray, *, axis: int = -1,
                               fp16: bool = False, out_logq=None, out_q=None
                               ) -> Tuple[np.ndarray, np.ndarray]:
@@ -175,6 +184,7 @@ def log_softmax_forward_fused(x: np.ndarray, *, axis: int = -1,
     return logq, q
 
 
+@capturable({"out_logq": 0, "out_q": 1})
 def log_softmax_forward_naive(x: np.ndarray, *, axis: int = -1,
                               fp16: bool = False, out_logq=None, out_q=None
                               ) -> Tuple[np.ndarray, np.ndarray]:
@@ -191,6 +201,7 @@ def log_softmax_forward_naive(x: np.ndarray, *, axis: int = -1,
 # ---------------------------------------------------------------------------
 
 
+@capturable({"out": 0, "out_probs": 1})
 def attn_softmax_dropout_forward_fused(scores: np.ndarray, scale: float,
                                        mask: Optional[np.ndarray],
                                        p: float, rng, *,
@@ -236,6 +247,7 @@ def attn_softmax_dropout_forward_fused(scores: np.ndarray, scale: float,
     return dropped, probs, dmask
 
 
+@capturable({"out": 0})
 def attn_softmax_dropout_backward_fused(dy: np.ndarray, probs: np.ndarray,
                                         dmask: Optional[np.ndarray],
                                         scale: float, p: float, *,

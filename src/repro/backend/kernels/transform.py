@@ -18,9 +18,10 @@ from typing import Tuple
 
 import numpy as np
 
-from . import out_buffer, record
+from . import capturable, out_buffer, record
 
 
+@capturable({"out": 0})
 def split_heads_naive(x: np.ndarray, nhead: int, *,
                       fp16: bool = False, out=None) -> np.ndarray:
     """(B, L, H) -> (B, N, L, D): one transpose-copy launch."""
@@ -34,6 +35,7 @@ def split_heads_naive(x: np.ndarray, nhead: int, *,
     return y
 
 
+@capturable({"out": 0})
 def merge_heads_naive(x: np.ndarray, *, fp16: bool = False,
                       out=None) -> np.ndarray:
     """(B, N, L, D) -> (B, L, H): one transpose-copy launch."""
@@ -44,6 +46,7 @@ def merge_heads_naive(x: np.ndarray, *, fp16: bool = False,
     return y
 
 
+@capturable({"out": 0})
 def bias_split_heads_fused(x: np.ndarray, bias: np.ndarray, nhead: int, *,
                            fp16: bool = False, out=None) -> np.ndarray:
     """Fused ``(x + bias)`` + head split in one launch (LS QKV epilogue)."""
@@ -56,6 +59,7 @@ def bias_split_heads_fused(x: np.ndarray, bias: np.ndarray, nhead: int, *,
     return y
 
 
+@capturable({"out_q": 0, "out_k": 1, "out_v": 2})
 def qkv_bias_split_heads_fused(qkv: np.ndarray, bias: np.ndarray,
                                nhead: int, *, fp16: bool = False,
                                out_q=None, out_k=None, out_v=None
@@ -85,6 +89,7 @@ def qkv_bias_split_heads_fused(qkv: np.ndarray, bias: np.ndarray,
     return q, k, v
 
 
+@capturable({"out": 0, "out_dbias": 1})
 def qkv_merge_heads_fused(dq: np.ndarray, dk: np.ndarray, dv: np.ndarray, *,
                           fp16: bool = False, out=None, out_dbias=None
                           ) -> Tuple[np.ndarray, np.ndarray]:
@@ -102,3 +107,44 @@ def qkv_merge_heads_fused(dq: np.ndarray, dk: np.ndarray, dv: np.ndarray, *,
     record("ls_qkv_merge_heads_bwd", dq.size + dk.size + dv.size,
            dqkv.size + dbias.size, flops=dqkv.size, fp16=fp16)
     return dqkv, dbias
+
+
+# ---------------------------------------------------------------------------
+# host-side glue ops — capturable so models stay replayable
+# ---------------------------------------------------------------------------
+#
+# These are not modelled GPU launches (no ``record``): they stand in for the
+# bits of host glue (zero-fill scatter, gradient reductions, scratch
+# staging) that models would otherwise do with raw numpy expressions.  Routing
+# them through the kernel funnel makes every model's backward a pure kernel
+# sequence, which is what step capture & replay requires.
+
+
+@capturable({"out": 0})
+def cls_grad_scatter(d_cls: np.ndarray, seq_shape: Tuple[int, ...], *,
+                     out=None) -> np.ndarray:
+    """Scatter a (B, H) classifier gradient into position 0 of a zeroed
+    (B, L, H) sequence gradient."""
+    d_x = out_buffer(out, seq_shape, np.float32)
+    d_x.fill(0.0)
+    d_x[:, 0, :] = d_cls
+    return d_x
+
+
+@capturable({"out": 0})
+def reduce_sum_axis0(a: np.ndarray, *, out=None) -> np.ndarray:
+    """Sum over the leading axis (parameter-gradient reductions)."""
+    buf = out_buffer(out, a.shape[1:], a.dtype)
+    np.sum(a, axis=0, out=buf)
+    return buf
+
+
+@capturable({"out": 0})
+def scratch_buffer(shape: Tuple[int, ...], dtype=np.float32, *,
+                   out=None) -> np.ndarray:
+    """Allocate (or re-serve) a scratch output buffer through the funnel.
+
+    Callers overwrite every element before reading, so replay can hand the
+    captured buffer back without initialisation.
+    """
+    return out_buffer(out, shape, dtype)

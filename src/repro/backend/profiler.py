@@ -101,6 +101,56 @@ def count_arena_miss(nbytes: int) -> None:
     _ALLOC_COUNTERS.arena_miss_bytes += int(nbytes)
 
 
+# ---------------------------------------------------------------------------
+# step capture & replay counters (backend.program / training.capture)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ReplayCounters:
+    """Running totals of the capture-replay engine's step outcomes.
+
+    ``captures`` counts eager steps that sealed a new program; ``replays``
+    counts steps dispatched through a captured program; ``invalidations``
+    counts :class:`~repro.backend.program.ProgramInvalidated` events (arena
+    re-reservation / parameter re-link forcing recapture); and
+    ``eager_fallbacks`` counts steps that ran eagerly because capture
+    failed or was ineligible.  A stale program never silently executes —
+    every invalidation is accounted here.
+    """
+
+    captures: int = 0
+    replays: int = 0
+    invalidations: int = 0
+    eager_fallbacks: int = 0
+
+    def snapshot(self) -> "ReplayCounters":
+        return replace(self)
+
+    def since(self, base: "ReplayCounters") -> "ReplayCounters":
+        """Counter delta relative to an earlier :meth:`snapshot`."""
+        return ReplayCounters(
+            captures=self.captures - base.captures,
+            replays=self.replays - base.replays,
+            invalidations=self.invalidations - base.invalidations,
+            eager_fallbacks=self.eager_fallbacks - base.eager_fallbacks,
+        )
+
+
+_REPLAY_COUNTERS = ReplayCounters()
+
+
+def replay_counters() -> ReplayCounters:
+    """The live process-global counters (mutated by the capture engine)."""
+    return _REPLAY_COUNTERS
+
+
+def reset_replay_counters() -> None:
+    # mutate in place so references returned by replay_counters() stay live
+    c = _REPLAY_COUNTERS
+    c.captures = c.replays = c.invalidations = c.eager_fallbacks = 0
+
+
 @dataclass
 class KernelStats:
     """Aggregated statistics for a group of kernel launches."""

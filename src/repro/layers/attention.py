@@ -27,6 +27,7 @@ import numpy as np
 
 from ..backend.kernels import elementwise as ew
 from ..backend.kernels import gemm, softmax, transform
+from ..backend.program import capturable
 from ..config import LSConfig
 from . import initializers as init
 from .base import Layer
@@ -35,18 +36,24 @@ from .base import Layer
 NEG_INF = np.float32(-1e9)
 
 
+# The mask builders are host ops but depend on the step's token batch, so
+# they are capturable: replay re-executes them against the rebound tokens.
+
+@capturable()
 def padding_mask(tokens: np.ndarray, padding_idx: int) -> np.ndarray:
     """(B, L) token ids -> (B, 1, 1, L) additive key-padding mask."""
     return np.where(tokens == padding_idx, NEG_INF, np.float32(0.0)
                     )[:, None, None, :].astype(np.float32)
 
 
+@capturable()
 def causal_mask(seq_len: int) -> np.ndarray:
     """(1, 1, L, L) additive future mask (decoder self-attention)."""
     m = np.triu(np.full((seq_len, seq_len), NEG_INF, dtype=np.float32), k=1)
     return m[None, None, :, :]
 
 
+@capturable()
 def combine_masks(*masks: Optional[np.ndarray]) -> Optional[np.ndarray]:
     """Sum additive masks, ignoring Nones."""
     present = [m for m in masks if m is not None]
@@ -290,16 +297,18 @@ class MultiHeadAttention(Layer):
             return d_x
         w = self.w_qkv.compute()
         d_x = None
-        dw_full = np.zeros_like(w)
-        db_full = np.zeros(3 * h, dtype=np.float32)
+        # scratch products: every row range is overwritten via out= slices
+        # below, keeping the packed-grad assembly replayable
+        dw_full = transform.scratch_buffer(w.shape, w.dtype)
+        db_full = transform.scratch_buffer((3 * h,), np.float32)
         for i, (dhead, tag) in enumerate(
                 zip((d_q, d_k, d_v), ("q", "k", "v"))):
             dflat = transform.merge_heads_naive(dhead, fp16=fp16)
-            db_full[i * h:(i + 1) * h] = ew.bias_grad_naive(dflat, fp16=fp16)
-            dxi, dwi = gemm.linear_backward(
+            ew.bias_grad_naive(dflat, fp16=fp16,
+                               out=db_full[i * h:(i + 1) * h])
+            dxi, _ = gemm.linear_backward(
                 x, w[i * h:(i + 1) * h], dflat, fp16=fp16,
-                name=f"gemm_{tag}_proj")
-            dw_full[i * h:(i + 1) * h] = dwi
+                name=f"gemm_{tag}_proj", out_dw=dw_full[i * h:(i + 1) * h])
             if d_x is None:
                 d_x = dxi
             else:
@@ -320,7 +329,8 @@ class MultiHeadAttention(Layer):
             if fused:
                 # bias grad folded into the merge kernel on the GPU; here
                 # the reduction is explicit but recorded with the merge
-                db = dflat.reshape(-1, dflat.shape[-1]).sum(axis=0)
+                db = transform.reduce_sum_axis0(
+                    dflat.reshape(-1, dflat.shape[-1]))
             else:
                 db = ew.bias_grad_naive(dflat, fp16=fp16)
             b.accumulate_grad(db)

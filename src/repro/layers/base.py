@@ -13,14 +13,36 @@ they are views — layer code never notices the difference.
 from __future__ import annotations
 
 import zlib
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
 from ..backend.arena import ActivationArena, current_arena
-from ..backend.dtypes import storage_dtype, to_compute
+from ..backend.dtypes import COMPUTE_DTYPE, storage_dtype
+from ..backend.program import host_call
 from ..config import LSConfig
 from ..obs import numerics as _numerics
+
+#: bumped whenever any Parameter is re-linked into a workspace: captured
+#: programs bake parameter memory in, so a re-link invalidates them.
+_LINK_EPOCH = 0
+
+
+def link_epoch() -> int:
+    """Process-wide parameter re-link counter (program validity check)."""
+    return _LINK_EPOCH
+
+
+def _grad_accum(grad: np.ndarray, g: np.ndarray) -> None:
+    """In-place gradient accumulation (the replayable host instruction).
+
+    FP16 accumulation may overflow to inf when the loss scale is too high —
+    that is the signal the loss scaler *checks for*, so the numpy overflow
+    warning is suppressed rather than treated as an error (matching CUDA
+    semantics, where the overflow is silent).
+    """
+    with np.errstate(over="ignore", invalid="ignore"):
+        grad += g.astype(grad.dtype)
 
 
 class Parameter:
@@ -32,6 +54,10 @@ class Parameter:
         self.fp16 = fp16
         self.data = value.astype(dt)
         self.grad = np.zeros_like(self.data)
+        #: lazily-created FP32 widen buffer (fp16 only).  Its *identity* is
+        #: stable across steps so captured programs can bake it in; its
+        #: contents are refreshed from ``data`` on every :meth:`compute`.
+        self._compute_buf: Optional[np.ndarray] = None
 
     @property
     def shape(self) -> Tuple[int, ...]:
@@ -42,22 +68,32 @@ class Parameter:
         return int(self.data.size)
 
     def compute(self) -> np.ndarray:
-        """FP32 view of the data for arithmetic (on-the-fly widen)."""
-        return to_compute(self.data)
+        """FP32 array of the data for arithmetic (on-the-fly widen).
+
+        FP32 storage returns ``data`` itself; FP16 widens into a cached
+        buffer whose identity is stable across steps (refreshed in place),
+        so capture & replay can treat it like any other parameter memory.
+        """
+        if self.data.dtype == COMPUTE_DTYPE:
+            return self.data
+        buf = self._compute_buf
+        if buf is None or buf.shape != self.data.shape:
+            self._compute_buf = buf = np.empty(self.data.shape, COMPUTE_DTYPE)
+        np.copyto(buf, self.data)
+        return buf
 
     def accumulate_grad(self, g: np.ndarray) -> None:
         """Accumulate a gradient contribution (stored at storage dtype).
 
-        FP16 accumulation may overflow to inf when the loss scale is too
-        high — that is the signal the loss scaler *checks for*, so the
-        numpy overflow warning is suppressed rather than treated as an
-        error (matching CUDA semantics, where the overflow is silent).
+        The in-place add is routed through
+        :func:`repro.backend.program.host_call` so a capture session records
+        it and replayed steps accumulate into parameter storage exactly as
+        eager steps do.
         """
         if g.shape != self.data.shape:
             raise ValueError(
                 f"{self.name}: grad shape {g.shape} != param {self.data.shape}")
-        with np.errstate(over="ignore", invalid="ignore"):
-            self.grad += g.astype(self.grad.dtype)
+        host_call(_grad_accum, self.grad, g)
 
     def zero_grad(self) -> None:
         self.grad[...] = 0
@@ -72,8 +108,11 @@ class Parameter:
             raise ValueError(
                 f"{self.name}: workspace view shape {data_view.shape} "
                 f"!= param {self.data.shape}")
+        global _LINK_EPOCH
+        _LINK_EPOCH += 1
         self.data = data_view
         self.grad = grad_view
+        self._compute_buf = None     # identity changed: drop the stale widen
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Parameter({self.name}, shape={self.shape}, fp16={self.fp16})"
@@ -172,6 +211,21 @@ class Layer:
         """
         arena = self._arena
         return arena.request(shape, dtype) if arena is not None else None
+
+    # -- capture & replay support ------------------------------------------------
+
+    def capture_constants(self) -> List[np.ndarray]:
+        """Non-parameter arrays with stable identity that kernels read.
+
+        A capture session registers these as stable memory so they resolve
+        to ``ConstRef`` slots.  Layers owning module-level tables (e.g. the
+        sinusoidal positional table) override this; the default collects
+        from sublayers.
+        """
+        out: List[np.ndarray] = []
+        for sub in self._sublayers.values():
+            out.extend(sub.capture_constants())
+        return out
 
     # -- numerics-observatory activation tap ------------------------------------
 

@@ -48,6 +48,9 @@ class LSEmbeddingLayer(Layer):
         self.pos_table = embk.sinusoidal_positions(config.max_seq_len, h)
         self.scale = float(h) ** 0.5
 
+    def capture_constants(self):
+        return [self.pos_table] + super().capture_constants()
+
     def forward(self, tokens: np.ndarray) -> np.ndarray:
         """``tokens``: int array (B, L) -> embeddings (B, L, H)."""
         cfg = self.config

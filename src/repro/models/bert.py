@@ -19,7 +19,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ..backend.kernels import elementwise as ew
-from ..backend.kernels import gemm
+from ..backend.kernels import gemm, transform
 from ..config import LSConfig
 from ..layers import initializers as init
 from ..layers.attention import padding_mask
@@ -114,8 +114,7 @@ class BertModel(Layer):
             fp16=cfg.fp16, name="gemm_pooler")
         self.pool_w.accumulate_grad(dw_pool)
         # scatter the [CLS] gradient back into the sequence
-        d_x = np.zeros(self._seq_shape, dtype=np.float32)
-        d_x[:, 0, :] = d_cls
+        d_x = transform.cls_grad_scatter(d_cls, self._seq_shape)
         for layer in reversed(self.layers):
             d_x = layer.backward(d_x)
         self.embed.backward(d_x)

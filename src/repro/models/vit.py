@@ -19,7 +19,8 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ..backend.kernels import elementwise as ew
-from ..backend.kernels import gemm, out_buffer, record
+from ..backend.kernels import gemm, out_buffer, record, transform
+from ..backend.program import capturable
 from ..config import LSConfig
 from ..layers import initializers as init
 from ..layers.base import Layer
@@ -27,6 +28,7 @@ from ..layers.criterion import LSCrossEntropyLayer
 from ..layers.encoder import LSTransformerEncoderLayer, _LayerNormOp
 
 
+@capturable()
 def extract_patches(images: np.ndarray, patch: int, *,
                     fp16: bool = False) -> np.ndarray:
     """(B, C, H, W) -> (B, P, C*patch*patch): one layout-transform kernel."""
@@ -38,6 +40,24 @@ def extract_patches(images: np.ndarray, patch: int, *,
     x = x.transpose(0, 2, 4, 1, 3, 5).reshape(b, gh * gw, c * patch * patch)
     x = np.ascontiguousarray(x)
     record("transpose_patchify", images.size, x.size, fp16=fp16)
+    return x
+
+
+@capturable({"out": 0})
+def vit_assemble_embed(cls_tok: np.ndarray, proj: np.ndarray,
+                       pos: np.ndarray, *, fp16: bool = False,
+                       out=None) -> np.ndarray:
+    """Prepend the [CLS] token and add learned positions — one kernel.
+
+    Bit-identical to ``concatenate([cls, proj]) + pos``: each output element
+    is written once, then a single elementwise add is applied.
+    """
+    b, p, h = proj.shape
+    x = out_buffer(out, (b, p + 1, h), np.float32)
+    x[:, 0, :] = cls_tok
+    x[:, 1:, :] = proj
+    x += pos[None]
+    record("vit_embed_posadd", x.size, x.size, flops=x.size, fp16=fp16)
     return x
 
 
@@ -78,19 +98,15 @@ class ViTModel(Layer):
         proj = gemm.linear_forward(patches, self.w_patch.compute(),
                                    fp16=cfg.fp16, name="gemm_patch_proj")
         proj = ew.bias_add_naive(proj, self.b_patch.compute(), fp16=cfg.fp16)
-        b = images.shape[0]
-        x = np.concatenate(
-            [np.broadcast_to(self.cls_token.compute(),
-                             (b, 1, cfg.hidden_dim)), proj], axis=1)
-        # positional add + dropout: fused into one kernel on the LS path
-        x = x + self.pos_embed.compute()[None]
+        # [CLS] prepend + positional add: fused into one kernel on the LS
+        # path; dropout follows as its own kernel
+        x = vit_assemble_embed(self.cls_token.compute(), proj,
+                               self.pos_embed.compute(), fp16=cfg.fp16)
         p = self.dropout_p
         if p > 0:
             x, mask = ew.dropout_forward_naive(x, p, self.rng, fp16=cfg.fp16)
         else:
             mask = None    # p == 0: no mask materialised
-        record("vit_embed_posadd", x.size, x.size, flops=x.size,
-               fp16=cfg.fp16)
         self.save(patches=patches, embed_dmask=mask)
         return x
 
@@ -120,9 +136,7 @@ class ViTModel(Layer):
             self.saved("cls"), self.head_w.compute(), d_logits,
             fp16=cfg.fp16, name="gemm_vit_head")
         self.head_w.accumulate_grad(dw_head)
-        d_x = out_buffer(None, self._seq_shape, np.float32)
-        d_x.fill(0.0)
-        d_x[:, 0, :] = d_cls
+        d_x = transform.cls_grad_scatter(d_cls, self._seq_shape)
         d_x = self._ln.backward(d_x, "final_ln")
         for layer in reversed(self.layers):
             d_x = layer.backward(d_x)
@@ -131,8 +145,9 @@ class ViTModel(Layer):
         if p > 0:
             d_x = ew.dropout_backward_naive(d_x, self.saved("embed_dmask"),
                                             p, fp16=cfg.fp16)
-        self.pos_embed.accumulate_grad(d_x.sum(axis=0))
-        self.cls_token.accumulate_grad(d_x[:, 0, :].sum(axis=0))
+        self.pos_embed.accumulate_grad(transform.reduce_sum_axis0(d_x))
+        self.cls_token.accumulate_grad(
+            transform.reduce_sum_axis0(d_x[:, 0, :]))
         d_proj = d_x[:, 1:, :]
         self.b_patch.accumulate_grad(ew.bias_grad_naive(d_proj,
                                                         fp16=cfg.fp16))

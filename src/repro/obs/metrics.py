@@ -57,6 +57,13 @@ class StepMetrics:
     # two-stream comm split (seconds; zero on single-device runs)
     comm_hidden_s: float = 0.0
     comm_exposed_s: float = 0.0
+    # capture-replay engine outcome (§3.1 flat dispatch): whether this step
+    # replayed a captured program, plus the cumulative engine counters
+    replayed: bool = False
+    replay_captures: int = 0
+    replay_replays: int = 0
+    replay_invalidations: int = 0
+    replay_eager_fallbacks: int = 0
 
     @property
     def loss_per_token(self) -> float:
@@ -122,7 +129,9 @@ class MetricsRecorder:
                      wall_s: float, *, applied: bool = True,
                      scaler: Optional[object] = None,
                      arena: Optional[object] = None,
-                     comm: Optional[object] = None) -> StepMetrics:
+                     comm: Optional[object] = None,
+                     replay: Optional[object] = None,
+                     replayed: bool = False) -> StepMetrics:
         """Record one step.
 
         ``scaler`` (any loss scaler) contributes ``loss_scale`` and the
@@ -130,7 +139,10 @@ class MetricsRecorder:
         :class:`~repro.backend.arena.ActivationArena`) contributes
         reservation statistics; ``comm`` is a
         :class:`~repro.sim.timeline.BucketSchedule` (or anything with
-        ``hidden_s``/``exposed_s``) contributing the comm split.  The
+        ``hidden_s``/``exposed_s``) contributing the comm split; ``replay``
+        (a :class:`~repro.backend.profiler.ReplayCounters`) contributes the
+        cumulative capture-replay totals and ``replayed`` flags whether
+        *this* step went through the flat dispatch loop.  The
         allocation-counter delta is measured since the previous observed
         step (or recorder construction).
         """
@@ -163,6 +175,15 @@ class MetricsRecorder:
                                if comm is not None else 0.0),
                 comm_exposed_s=(float(comm.exposed_s)
                                 if comm is not None else 0.0),
+                replayed=bool(replayed),
+                replay_captures=(int(replay.captures)
+                                 if replay is not None else 0),
+                replay_replays=(int(replay.replays)
+                                if replay is not None else 0),
+                replay_invalidations=(int(replay.invalidations)
+                                      if replay is not None else 0),
+                replay_eager_fallbacks=(int(replay.eager_fallbacks)
+                                        if replay is not None else 0),
             )
             self.records.append(rec)
             self._log.append(rec.as_dict())

@@ -45,6 +45,7 @@ class Span:
     parent: Optional[str] = None
     launches: int = 0           # kernel launches recorded inside the scope
     alloc: AllocCounters = field(default_factory=AllocCounters)
+    attrs: Dict[str, object] = field(default_factory=dict)
 
     @property
     def end_s(self) -> float:
@@ -62,6 +63,7 @@ class Span:
             "new_allocs": self.alloc.new_allocs,
             "new_alloc_bytes": self.alloc.new_alloc_bytes,
             "arena_hits": self.alloc.arena_hits,
+            **({"attrs": dict(self.attrs)} if self.attrs else {}),
         }
 
 
@@ -132,15 +134,22 @@ def use_recorder(rec: SpanRecorder) -> Iterator[SpanRecorder]:
 
 
 @contextmanager
-def span(name: str) -> Iterator[Optional[Span]]:
-    """Trace a named scope on the current recorder (no-op when none)."""
+def span(name: str,
+         attrs: Optional[Dict[str, object]] = None) -> Iterator[Optional[Span]]:
+    """Trace a named scope on the current recorder (no-op when none).
+
+    ``attrs`` annotates the span with arbitrary key/values (e.g.
+    ``{"replay": True}`` on stage spans emitted by the flat dispatch loop);
+    they ride along into :meth:`Span.as_dict` / the Perfetto export.
+    """
     rec = current_recorder()
     if rec is None:
         yield None
         return
     stack = rec._stack()
     sp = Span(name=name, depth=len(stack), tid=rec._tid(),
-              parent=stack[-1].name if stack else None)
+              parent=stack[-1].name if stack else None,
+              attrs=dict(attrs) if attrs else {})
     dev = current_device()
     launches0 = len(dev.launches)
     alloc0 = alloc_counters().snapshot()

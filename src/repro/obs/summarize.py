@@ -14,6 +14,7 @@ found, so the diff doubles as a CI gate.
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 from typing import Dict, List, Optional, Tuple
 
@@ -42,7 +43,13 @@ def diff_stages(baseline: Dict[str, float], current: Dict[str, float], *,
     rows = []
     for stage in baseline:
         base = float(baseline[stage])
-        cur = float(current.get(stage, 0.0))
+        if stage not in current:
+            # A stage the candidate never ran is a hard failure, never a
+            # pass: treating it as 0.0 would give it ratio 0 and let a
+            # renamed or silently-dropped stage sail through the gate.
+            rows.append((stage, base, float("nan"), float("inf"), True))
+            continue
+        cur = float(current[stage])
         ratio = _ratio(cur, base)
         rows.append((stage, base, cur, ratio, ratio > 1.0 + threshold))
     return rows
@@ -75,9 +82,15 @@ def diff_records(baseline: Dict[str, object], current: Dict[str, object], *,
     if b_stages and c_stages is not None:
         for stage, base, cur, ratio, bad in diff_stages(
                 b_stages, c_stages, threshold=threshold):
+            missing = not math.isfinite(cur)
             out["stages"].append({
-                "stage": stage, "baseline_s": base, "current_s": cur,
-                "ratio": ratio, "regression": bool(bad)})
+                # None (not NaN/inf) for missing stages keeps the --json
+                # document strict-JSON parseable
+                "stage": stage, "baseline_s": base,
+                "current_s": None if missing else cur,
+                "ratio": None if missing else ratio,
+                "missing": missing,
+                "regression": bool(bad)})
             regressions += bad
 
     b_counters = baseline.get("counters") or {}
@@ -122,6 +135,11 @@ def summarize_run_records(baseline: Dict[str, object],
                      f"{'ratio':>8}")
         for row in diff["stages"]:
             flag = "  REGRESSION" if row["regression"] else ""
+            if row.get("missing"):
+                lines.append(f"  {row['stage']:<12}"
+                             f"{row['baseline_s'] * 1e3:>14.3f}"
+                             f"{'(missing)':>14}{'--':>8}{flag}")
+                continue
             lines.append(f"  {row['stage']:<12}"
                          f"{row['baseline_s'] * 1e3:>14.3f}"
                          f"{row['current_s'] * 1e3:>14.3f}"

@@ -23,7 +23,9 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .backend.arena import ActivationArena
 from .backend.device import Device, KernelLaunch, use_device
+from .backend.profiler import replay_counters
 from .config import LSConfig, get_config
 from .obs import (MetricsRecorder, NumericsCollector, SpanRecorder,
                   perfetto_trace, use_collector, use_recorder, write_trace)
@@ -34,8 +36,8 @@ from .layers.base import Layer
 from .models import BertModel, GPTModel, TransformerModel, ViTModel
 from .precision import DynamicLossScaler
 from .sim import GPUS, trace_cost
-from .training import (InverseSqrtSchedule, OptimizerSpec, make_trainer,
-                       train_step)
+from .training import (CaptureReplayEngine, InverseSqrtSchedule,
+                       OptimizerSpec, make_trainer, train_step)
 from .training.serialization import load_checkpoint, save_checkpoint
 
 #: shrunken-but-faithful model dims so the CLI runs in seconds on a laptop;
@@ -90,6 +92,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="with --halt-on-anomaly: write a diagnostic "
                         "snapshot (recent numerics records + anomalies) "
                         "here before halting")
+    p.add_argument("--capture-replay", action="store_true",
+                   help="capture the forward+backward kernel sequence once "
+                        "per batch signature and replay it through the flat "
+                        "dispatch loop on subsequent steps (arena-backed)")
     return p
 
 
@@ -190,18 +196,27 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.numerics_every, metrics=metrics, engine=AnomalyEngine(),
             halt_on_anomaly=args.halt_on_anomaly,
             dump_path=args.anomaly_dump)
+    engine = None
+    if args.capture_replay:
+        engine = CaptureReplayEngine(model, trainer,
+                                     arena=ActivationArena())
     kept_launches: List[KernelLaunch] = []
     window_loss = window_tokens = 0
     window_t0 = time.perf_counter()
     halted = None
+    rc = replay_counters()
     with use_device(dev), \
             (use_recorder(recorder) if recorder else nullcontext()), \
             (use_collector(collector) if collector else nullcontext()):
         for step in range(1, args.steps + 1):
             step_t0 = time.perf_counter()
+            rc0 = rc.snapshot()
             try:
-                res = train_step(model, trainer, batch_fn(step - 1),
-                                 lr=sched.lr(trainer.step_count + 1))
+                lr = sched.lr(trainer.step_count + 1)
+                res = (engine.step(batch_fn(step - 1), lr=lr)
+                       if engine is not None
+                       else train_step(model, trainer, batch_fn(step - 1),
+                                       lr=lr))
             except Exception as e:
                 from .obs.health import AnomalyHalted
                 if not isinstance(e, AnomalyHalted):
@@ -212,7 +227,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                 metrics.observe_step(
                     step=step, loss=res.loss, num_tokens=res.num_tokens,
                     wall_s=time.perf_counter() - step_t0,
-                    applied=res.applied, scaler=scaler)
+                    applied=res.applied, scaler=scaler,
+                    arena=engine.arena if engine is not None else None,
+                    replay=rc if engine is not None else None,
+                    replayed=rc.since(rc0).replays > 0)
             window_loss += res.loss
             window_tokens += res.num_tokens
             if step % args.log_interval == 0 or step == args.steps:
@@ -254,6 +272,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         else:
             print(f"numerics: no anomalies in "
                   f"{len(collector.records)} observed steps")
+    if engine is not None:
+        print(f"capture-replay: {rc.captures} captures, {rc.replays} "
+              f"replays, {rc.invalidations} invalidations, "
+              f"{rc.eager_fallbacks} eager fallbacks "
+              f"({len(engine.programs)} cached programs)")
     if halted is not None:
         print(f"HALTED on anomaly: {halted}"
               + (f" (snapshot: {args.anomaly_dump})"

@@ -1,5 +1,6 @@
 """Training machinery: optimizers, trainers (§3.2), data parallelism, loops."""
 
+from .capture import CaptureReplayEngine
 from .data_parallel import DataParallel, shard_batch
 from .checkpointing import (CheckpointedLayer, checkpoint_stack,
                             stack_backward, stack_forward)
@@ -17,7 +18,7 @@ __all__ = [
     "OptimizerSpec", "InverseSqrtSchedule", "LinearDecaySchedule",
     "ConstantSchedule", "TrainerBase", "NaiveMPTrainer", "ApexLikeTrainer",
     "LSFusedTrainer", "ZeRO1ShardedTrainer", "make_trainer",
-    "DataParallel", "shard_batch",
+    "CaptureReplayEngine", "DataParallel", "shard_batch",
     "train_step", "train_epoch", "train_step_accumulated",
     "StepResult", "EpochStats", "CheckpointedLayer",
     "checkpoint_stack", "stack_forward", "stack_backward",

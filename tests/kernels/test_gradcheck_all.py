@@ -5,6 +5,12 @@ against *numerical* gradients of its own forward: a shared analytic bug
 in both implementations cannot hide here.  Inputs are float64 so central
 differences with a tiny eps are trustworthy; the embedding kernel casts
 its output to float32, so it runs with a large eps and looser tolerances.
+
+Every backward is checked twice over: once eager, and once routed through
+:func:`repro.backend.program.capture_callable` so the *replayed* kernel
+program — the flat dispatch loop of DESIGN §11, with its slot rebinding
+and baked constants — is held to the same finite-difference bar as the
+eager code it was captured from.
 """
 
 import numpy as np
@@ -14,6 +20,7 @@ from repro.backend.kernels.criterion import (criterion_backward_fused,
                                              criterion_forward_fused)
 from repro.backend.kernels.elementwise import (bias_act_dropout_backward,
                                                bias_act_dropout_forward,
+                                               bias_add_naive,
                                                bias_dropout_residual_backward,
                                                bias_dropout_residual_forward,
                                                make_dropout_mask)
@@ -24,10 +31,41 @@ from repro.backend.kernels.layernorm import (layernorm_backward_fused,
                                              layernorm_forward_fused)
 from repro.backend.kernels.softmax import (softmax_backward_fused,
                                            softmax_forward_fused)
+from repro.backend.program import capture_callable
 from repro.tools import gradcheck
 
 
-def test_gradcheck_layernorm_backward_fused():
+@pytest.fixture(params=["eager", "replay"])
+def mode(request):
+    return request.param
+
+
+def _check(mode, name, fwd, core, make_args, *, bwd_from_core=None,
+           constants=(), **kw):
+    """Gradcheck ``core`` (the kernel-pure backward) in the given mode.
+
+    Eager mode runs it directly.  Replay mode wraps it in
+    :func:`capture_callable` and gradchecks twice: the first run captures
+    (itself an eager execution), the second replays the sealed program —
+    and must still match finite differences.  ``bwd_from_core`` adapts the
+    captured core to gradcheck's ``bwd(dy, *args)`` calling convention
+    when host-side glue (a cotangent multiply, a dtype cast) has to stay
+    *outside* the captured program.
+    """
+    core_fn = (capture_callable(core, constants=constants)
+               if mode == "replay" else core)
+    bwd = bwd_from_core(core_fn) if bwd_from_core is not None else core_fn
+    report = gradcheck(name, fwd, bwd, make_args, **kw)
+    assert report.passed, report.format()
+    if mode == "replay":
+        report = gradcheck(name, fwd, bwd, make_args, **kw)
+        assert report.passed, report.format()
+        prog = core_fn.capture_state["program"]
+        assert prog is not None and prog.replays >= 1, \
+            f"{name}: second gradcheck did not replay the captured program"
+
+
+def test_gradcheck_layernorm_backward_fused(mode):
     def fwd(x, w, b):
         return layernorm_forward_fused(x, w, b)[0]
 
@@ -35,27 +73,23 @@ def test_gradcheck_layernorm_backward_fused():
         _, mu, rstd = layernorm_forward_fused(x, w, b)
         return layernorm_backward_fused(dy, x, w, mu, rstd)
 
-    report = gradcheck(
-        "layernorm_bwd", fwd, bwd,
-        lambda rng: (rng.standard_normal((3, 4, 8)),
-                     1.0 + 0.1 * rng.standard_normal(8),
-                     0.1 * rng.standard_normal(8)),
-        eps=1e-6, rtol=1e-4, atol=1e-7)
-    assert report.passed, report.format()
+    _check(mode, "layernorm_bwd", fwd, bwd,
+           lambda rng: (rng.standard_normal((3, 4, 8)),
+                        1.0 + 0.1 * rng.standard_normal(8),
+                        0.1 * rng.standard_normal(8)),
+           eps=1e-6, rtol=1e-4, atol=1e-7)
 
 
-def test_gradcheck_softmax_backward_fused():
+def test_gradcheck_softmax_backward_fused(mode):
     def bwd(dy, x):
         return softmax_backward_fused(dy, softmax_forward_fused(x))
 
-    report = gradcheck(
-        "softmax_bwd", softmax_forward_fused, bwd,
-        lambda rng: (rng.standard_normal((3, 5, 7)),),
-        eps=1e-6, rtol=1e-4, atol=1e-7)
-    assert report.passed, report.format()
+    _check(mode, "softmax_bwd", softmax_forward_fused, bwd,
+           lambda rng: (rng.standard_normal((3, 5, 7)),),
+           eps=1e-6, rtol=1e-4, atol=1e-7)
 
 
-def test_gradcheck_bias_dropout_residual_backward():
+def test_gradcheck_bias_dropout_residual_backward(mode):
     p = 0.25
     mask = make_dropout_mask((4, 6, 8), p, np.random.default_rng(11))
 
@@ -67,16 +101,14 @@ def test_gradcheck_bias_dropout_residual_backward():
     def bwd(dy, x, bias, residual):
         return bias_dropout_residual_backward(dy, mask, p)
 
-    report = gradcheck(
-        "bias_dropout_residual_bwd", fwd, bwd,
-        lambda rng: (rng.standard_normal((4, 6, 8)),
-                     rng.standard_normal(8),
-                     rng.standard_normal((4, 6, 8))),
-        eps=1e-6, rtol=1e-4, atol=1e-7)
-    assert report.passed, report.format()
+    _check(mode, "bias_dropout_residual_bwd", fwd, bwd,
+           lambda rng: (rng.standard_normal((4, 6, 8)),
+                        rng.standard_normal(8),
+                        rng.standard_normal((4, 6, 8))),
+           constants=(mask,), eps=1e-6, rtol=1e-4, atol=1e-7)
 
 
-def test_gradcheck_bias_gelu_dropout_backward():
+def test_gradcheck_bias_gelu_dropout_backward(mode):
     p = 0.25
     mask = make_dropout_mask((3, 5, 8), p, np.random.default_rng(13))
 
@@ -87,19 +119,20 @@ def test_gradcheck_bias_gelu_dropout_backward():
         return y
 
     def bwd(dy, x, bias):
-        pre = x + bias
+        # the pre-activation recompute goes through the bias-add kernel so
+        # the captured program records it as a product (a raw `x + bias`
+        # would bake capture-time values in as a constant)
+        pre = bias_add_naive(x, bias)
         return bias_act_dropout_backward(dy, mask, pre, p,
                                          activation="gelu")
 
-    report = gradcheck(
-        "bias_gelu_dropout_bwd", fwd, bwd,
-        lambda rng: (rng.standard_normal((3, 5, 8)),
-                     rng.standard_normal(8)),
-        eps=1e-6, rtol=1e-4, atol=1e-7)
-    assert report.passed, report.format()
+    _check(mode, "bias_gelu_dropout_bwd", fwd, bwd,
+           lambda rng: (rng.standard_normal((3, 5, 8)),
+                        rng.standard_normal(8)),
+           constants=(mask,), eps=1e-6, rtol=1e-4, atol=1e-7)
 
 
-def test_gradcheck_embedding_backward_fused():
+def test_gradcheck_embedding_backward_fused(mode):
     # forward casts to float32 and is *linear* in the table, so a big eps
     # is exact up to the cast; tolerances absorb the float32 rounding
     vocab, h, p = 11, 4, 0.25
@@ -118,14 +151,12 @@ def test_gradcheck_embedding_backward_fused():
         return embedding_backward_fused(dy, tokens, mask, scale, p, vocab,
                                         pad_idx=0)
 
-    report = gradcheck(
-        "embedding_bwd", fwd, bwd,
-        lambda rng: (rng.standard_normal((vocab, h)),),
-        eps=1e-2, rtol=1e-3, atol=1e-4)
-    assert report.passed, report.format()
+    _check(mode, "embedding_bwd", fwd, bwd,
+           lambda rng: (rng.standard_normal((vocab, h)),),
+           constants=(tokens, mask), eps=1e-2, rtol=1e-3, atol=1e-4)
 
 
-def test_gradcheck_criterion_backward_fused():
+def test_gradcheck_criterion_backward_fused(mode):
     alpha, ignore = 0.1, -100
     targets = np.array([2, 5, 0, ignore, 3])
 
@@ -134,27 +165,35 @@ def test_gradcheck_criterion_backward_fused():
                                              ignore_index=ignore)
         return np.asarray(loss, dtype=np.float64)
 
-    def bwd(dy, logits):
+    def core(dy, logits):
         _, _, q = criterion_forward_fused(logits, targets, alpha,
                                           ignore_index=ignore)
         return criterion_backward_fused(q, targets, alpha,
-                                        ignore_index=ignore) * dy
+                                        ignore_index=ignore)
 
-    report = gradcheck(
-        "criterion_bwd", fwd, bwd,
-        lambda rng: (rng.standard_normal((5, 7)),),
-        eps=1e-6, rtol=1e-4, atol=1e-7)
-    assert report.passed, report.format()
+    # the cotangent multiply is host glue on the *result*, outside the
+    # captured program (dy is a scalar-shaped array the program never
+    # needs to dispatch on)
+    _check(mode, "criterion_bwd", fwd, core,
+           lambda rng: (rng.standard_normal((5, 7)),),
+           bwd_from_core=lambda c: (lambda dy, logits: c(dy, logits) * dy),
+           constants=(targets,), eps=1e-6, rtol=1e-4, atol=1e-7)
 
 
-def test_gradcheck_catches_broken_backward():
-    """A softmax backward missing the dot-product term must FAIL."""
+def test_gradcheck_catches_broken_backward(mode):
+    """A softmax backward missing the dot-product term must FAIL — in
+    eager mode and just as loudly when replayed from a captured program."""
 
     def broken_bwd(dy, x):
-        return softmax_forward_fused(x) * dy     # wrong: dropped -y*dot
+        return softmax_backward_fused(x, softmax_forward_fused(x))  # wrong
+
+    bwd = capture_callable(broken_bwd) if mode == "replay" else broken_bwd
+    if mode == "replay":
+        rng = np.random.default_rng(0)
+        bwd(rng.standard_normal((2, 6)), rng.standard_normal((2, 6)))
 
     report = gradcheck(
-        "softmax_bwd_broken", softmax_forward_fused, broken_bwd,
+        "softmax_bwd_broken", softmax_forward_fused, bwd,
         lambda rng: (rng.standard_normal((2, 6)),),
         eps=1e-6, rtol=1e-4, atol=1e-7)
     assert not report.passed

@@ -90,10 +90,13 @@ class TestSummarize:
         with pytest.raises(ValueError, match="empty stage_seconds"):
             diff_stages({}, {"forward": 0.1})
 
-    def test_missing_current_stage_is_not_a_regression(self):
+    def test_missing_current_stage_is_a_hard_regression(self):
+        # a stage the candidate never ran must fail, not pass with ratio 0
+        # (a renamed/dropped stage would otherwise slip through the gate)
+        import math
         rows = diff_stages({"forward": 0.1}, {})
         (stage, base, cur, ratio, bad) = rows[0]
-        assert cur == 0.0 and ratio == 0.0 and not bad
+        assert math.isnan(cur) and math.isinf(ratio) and bad
 
     def test_main_exit_codes(self, tmp_path, capsys):
         base, cur = str(tmp_path / "b.json"), str(tmp_path / "c.json")

@@ -55,6 +55,39 @@ class TestDiffRecords:
         assert "REGRESSION" in text
 
 
+class TestMissingStage:
+    """A stage present in the baseline but absent from the candidate is a
+    *hard* failure — the old behaviour treated it as 0.0s (ratio 0, a free
+    pass), which let a renamed or silently-dropped stage sail through."""
+
+    def test_missing_stage_is_regression(self):
+        d = diff_records(_rec(stages={"fwd": 1.0, "bwd": 2.0}),
+                         _rec(stages={"fwd": 1.0}))
+        assert d["regressions"] == 1
+        (row,) = [r for r in d["stages"] if r["stage"] == "bwd"]
+        assert row["regression"] and row["missing"]
+        assert row["current_s"] is None and row["ratio"] is None
+
+    def test_missing_stage_json_stays_strict(self):
+        d = diff_records(_rec(stages={"bwd": 2.0}), _rec(stages={}))
+        # json.dumps would emit non-standard NaN/Infinity tokens otherwise
+        doc = json.loads(json.dumps(d, allow_nan=False))
+        assert doc["regressions"] == 1
+
+    def test_missing_stage_text_report(self):
+        text, n = summarize_run_records(_rec(stages={"fwd": 1.0, "bwd": 2.0}),
+                                        _rec(stages={"fwd": 1.0}))
+        assert n == 1
+        assert "(missing)" in text and "REGRESSION" in text
+
+    def test_present_zero_stage_still_passes(self):
+        # an explicitly-recorded 0.0 is data, not absence: ratio 0, no flag
+        d = diff_records(_rec(stages={"fwd": 1.0}),
+                         _rec(stages={"fwd": 0.0}))
+        assert d["regressions"] == 0
+        assert not d["stages"][0]["missing"]
+
+
 class TestCLI:
     def _paths(self, tmp_path, base, cur):
         bp, cp = tmp_path / "b.json", tmp_path / "c.json"

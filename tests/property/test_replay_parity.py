@@ -1,0 +1,205 @@
+"""Property tests: replayed steps are bit-identical to eager ones.
+
+The capture-replay engine (§3.1 flat dispatch, DESIGN §11) changes *how*
+the kernel sequence is dispatched — a flat program instead of the layer
+graph — never what it computes.  For every model family we build two
+identically-seeded twins, drive one through a
+:class:`~repro.training.CaptureReplayEngine` (arena-backed, so captured
+programs bake slab views in), and step both in lockstep on the same
+batches: losses, token counts and every parameter gradient must be
+``np.array_equal`` (bit-identical, not approx) at every step — including
+the steps that replayed a captured program.
+
+Lockstep matters doubly here: dropout draws from the layers' own RNG
+streams, and replayed steps re-draw masks through the *same* baked
+Generator references, so the eager twin must consume exactly as many draws
+as the engine twin.
+
+Shape sequences repeat so replays actually happen, and the
+shrink-then-grow run forces an arena re-reservation mid-run — the captured
+program is invalidated, the engine recaptures, and parity must survive the
+whole fallback-and-recapture cycle.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backend.arena import ActivationArena
+from repro.backend.profiler import replay_counters, reset_replay_counters
+from repro.config import get_config
+from repro.models import BertModel, GPTModel, TransformerModel, ViTModel
+from repro.training import CaptureReplayEngine
+
+HID, NHEAD, FFN, V = 32, 4, 64, 61
+
+
+def _assert_replay_lockstep(make_model, make_batch, shapes, seed, *,
+                            arena=True):
+    """Step an eager twin and an engine-driven twin over ``shapes``;
+    require bit-identical losses, token counts and parameter grads at
+    every step.  Returns the engine and this run's counter deltas."""
+    reset_replay_counters()
+    eager = make_model(seed)
+    replayed = make_model(seed)
+    engine = CaptureReplayEngine(
+        replayed, arena=ActivationArena() if arena else None)
+    for i, shape in enumerate(shapes):
+        batch_rng = np.random.default_rng(1000 + 31 * seed + i)
+        batch = make_batch(batch_rng, *shape)
+        loss_e, ntok_e = eager.forward_backward(*batch)
+        loss_r, ntok_r = engine.forward_backward(*batch)
+        assert loss_r == loss_e                     # float equality, no tol
+        assert ntok_r == ntok_e
+        for pe, pr in zip(eager.parameters(), replayed.parameters()):
+            assert np.array_equal(pe.grad, pr.grad), \
+                f"step {i}: grad mismatch for {pe.name}"
+    return engine, replay_counters()
+
+
+#: constant-shape runs so the steady state is reached: with an arena the
+#: first step is the allocation scan (eager fallback), the second captures,
+#: and every later step must replay.
+def _replay_runs(max_b, max_l):
+    return st.sampled_from([
+        [(2, max_l // 2)] * 4,
+        [(max_b, max_l)] * 4,
+        [(1, max_l)] * 5,
+    ])
+
+
+def _assert_steady_state(counters, n_steps):
+    assert counters.captures == 1
+    assert counters.replays == n_steps - 2      # scan + capture, then replay
+    assert counters.eager_fallbacks == 1        # the arena scan step
+    assert counters.invalidations == 0
+
+
+@given(seed=st.integers(0, 50), shapes=_replay_runs(4, 12))
+@settings(max_examples=8, deadline=None)
+def test_bert_replay_bit_identical(seed, shapes):
+    cfg = get_config("bert-base", max_batch_tokens=256, max_seq_len=32,
+                     hidden_dim=HID, nhead=NHEAD, ffn_dim=FFN, vocab_size=V,
+                     num_encoder_layers=2)
+    _, counters = _assert_replay_lockstep(
+        lambda s: BertModel(cfg, seed=s),
+        lambda rng, b, l: (rng.integers(1, V, (b, l)),
+                           rng.integers(0, 2, b)),
+        shapes, seed)
+    _assert_steady_state(counters, len(shapes))
+
+
+@given(seed=st.integers(0, 50), shapes=_replay_runs(3, 10),
+       fused=st.booleans())
+@settings(max_examples=8, deadline=None)
+def test_gpt_replay_bit_identical(seed, shapes, fused):
+    cfg = get_config("gpt2-small", max_batch_tokens=256, max_seq_len=32,
+                     hidden_dim=HID, nhead=NHEAD, ffn_dim=FFN, vocab_size=V,
+                     num_decoder_layers=2, fused=fused)
+    _, counters = _assert_replay_lockstep(
+        lambda s: GPTModel(cfg, seed=s),
+        lambda rng, b, l: (rng.integers(4, V, (b, l)),
+                           rng.integers(4, V, (b, l))),
+        shapes, seed)
+    _assert_steady_state(counters, len(shapes))
+
+
+@given(seed=st.integers(0, 50), shapes=_replay_runs(3, 8),
+       fused=st.booleans())
+@settings(max_examples=8, deadline=None)
+def test_transformer_replay_bit_identical(seed, shapes, fused):
+    cfg = get_config("transformer-base", max_batch_tokens=256,
+                     max_seq_len=24, hidden_dim=HID, nhead=NHEAD,
+                     ffn_dim=FFN, vocab_size=V, num_encoder_layers=2,
+                     num_decoder_layers=2, fused=fused)
+    _, counters = _assert_replay_lockstep(
+        lambda s: TransformerModel(cfg, seed=s),
+        lambda rng, b, l: (rng.integers(4, V, (b, l)),
+                           rng.integers(4, V, (b, l)),
+                           rng.integers(4, V, (b, l))),
+        shapes, seed)
+    _assert_steady_state(counters, len(shapes))
+
+
+@given(seed=st.integers(0, 50), batches=st.sampled_from([
+    [2] * 4, [3] * 4, [1] * 5]))
+@settings(max_examples=6, deadline=None)
+def test_vit_replay_bit_identical(seed, batches):
+    cfg = get_config("vit-b-32", max_batch_tokens=256, max_seq_len=32,
+                     hidden_dim=HID, nhead=NHEAD, ffn_dim=FFN,
+                     num_encoder_layers=2, image_size=64, patch_size=32)
+    _, counters = _assert_replay_lockstep(
+        lambda s: ViTModel(cfg, seed=s),
+        lambda rng, b: (rng.standard_normal((b, 3, 64, 64),
+                                            ).astype(np.float32),
+                        rng.integers(0, 10, b)),
+        [(b,) for b in batches], seed)
+    _assert_steady_state(counters, len(batches))
+
+
+@given(seed=st.integers(0, 20))
+@settings(max_examples=6, deadline=None)
+def test_no_arena_replay_bit_identical(seed):
+    """Without an arena there is no scan step: the engine captures on the
+    very first step and replays everything after."""
+    cfg = get_config("bert-base", max_batch_tokens=256, max_seq_len=32,
+                     hidden_dim=HID, nhead=NHEAD, ffn_dim=FFN, vocab_size=V,
+                     num_encoder_layers=2)
+    _, counters = _assert_replay_lockstep(
+        lambda s: BertModel(cfg, seed=s),
+        lambda rng, b, l: (rng.integers(1, V, (b, l)),
+                           rng.integers(0, 2, b)),
+        [(2, 8)] * 4, seed, arena=False)
+    assert counters.captures == 1
+    assert counters.replays == 3
+    assert counters.eager_fallbacks == 0
+    assert counters.invalidations == 0
+
+
+@given(seed=st.integers(0, 20))
+@settings(max_examples=6, deadline=None)
+def test_shrink_then_grow_recaptures_with_parity(seed):
+    """A batch outgrowing the slab mid-run re-reserves the arena, which
+    invalidates every captured program (their baked slab views are stale).
+    The engine must detect this, fall back to eager, recapture, and keep
+    bit-parity through the whole cycle."""
+    cfg = get_config("bert-base", max_batch_tokens=256, max_seq_len=32,
+                     hidden_dim=HID, nhead=NHEAD, ffn_dim=FFN, vocab_size=V,
+                     num_encoder_layers=2)
+    shapes = [(2, 8)] * 3 + [(4, 16)] * 2 + [(2, 8)] * 2
+    engine, counters = _assert_replay_lockstep(
+        lambda s: BertModel(cfg, seed=s),
+        lambda rng, b, l: (rng.integers(1, V, (b, l)),
+                           rng.integers(0, 2, b)),
+        shapes, seed)
+    # (2,8): scan-fallback, capture, replay.  (4,16): outgrows the slab →
+    # eager + regrow, then capture.  (2,8) again: the regrow invalidated
+    # the old program → recapture, then replay.
+    assert counters.invalidations >= 1
+    assert counters.replays >= 2
+    assert counters.captures >= 3
+    assert engine.arena.reservations >= 2
+
+
+def test_replayed_step_skips_layer_graph():
+    """The point of the exercise: a replayed step dispatches the flat
+    program — the model's forward is never entered.  (Guarded by probing,
+    not timing: monkeypatch the model's forward to fail.)"""
+    cfg = get_config("bert-base", max_batch_tokens=256, max_seq_len=32,
+                     hidden_dim=HID, nhead=NHEAD, ffn_dim=FFN, vocab_size=V,
+                     num_encoder_layers=2)
+    reset_replay_counters()
+    m = BertModel(cfg, seed=0)
+    engine = CaptureReplayEngine(m, arena=ActivationArena())
+    rng = np.random.default_rng(0)
+    batch = (rng.integers(1, V, (2, 8)), rng.integers(0, 2, 2))
+    for _ in range(2):                  # scan + capture
+        engine.forward_backward(*batch)
+
+    def boom(*a, **k):                  # pragma: no cover - must not run
+        raise AssertionError("layer graph entered during replay")
+
+    m.forward = boom
+    loss, ntok = engine.forward_backward(*batch)
+    assert np.isfinite(loss) and ntok > 0
+    assert replay_counters().replays == 1

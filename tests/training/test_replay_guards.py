@@ -1,0 +1,209 @@
+"""Guard tests: a stale or mismatched program can never silently execute.
+
+The capture-replay engine has exactly two gates in front of the flat
+dispatch loop: the *signature* (batch shapes/dtypes + loss scale + mode)
+keying the program cache, and the *validity* check (arena generation +
+parameter link epoch) run on every cache hit.  These tests force each gate
+individually — shape change, dtype change, scale change, arena overflow,
+parameter re-link, an actively-sampling numerics collector — and assert
+the engine falls back to eager, recaptures cleanly, accounts the outcome
+in :func:`repro.backend.profiler.replay_counters`, and keeps bit-parity
+throughout.
+"""
+
+import numpy as np
+
+from repro.backend.arena import ActivationArena
+from repro.backend.device import Device, use_device
+from repro.backend.profiler import replay_counters, reset_replay_counters
+from repro.config import get_config
+from repro.models import BertModel
+from repro.obs import (NumericsCollector, SpanRecorder, use_collector,
+                       use_recorder)
+from repro.training import (CaptureReplayEngine, OptimizerSpec, make_trainer,
+                            train_step)
+
+HID, NHEAD, FFN, V = 32, 4, 64, 61
+
+
+def _cfg(**over):
+    base = dict(max_batch_tokens=256, max_seq_len=32, hidden_dim=HID,
+                nhead=NHEAD, ffn_dim=FFN, vocab_size=V,
+                num_encoder_layers=2)
+    base.update(over)
+    return get_config("bert-base", **base)
+
+
+def _batch(rng, b, l, dtype=None):
+    toks = rng.integers(1, V, (b, l))
+    if dtype is not None:
+        toks = toks.astype(dtype)
+    return toks, rng.integers(0, 2, b)
+
+
+def _warm_engine(seed=0, steps=3):
+    """An engine past its scan + capture steps, replaying steadily."""
+    reset_replay_counters()
+    m = BertModel(_cfg(), seed=seed)
+    engine = CaptureReplayEngine(m, arena=ActivationArena())
+    rng = np.random.default_rng(seed)
+    batch = _batch(rng, 2, 8)
+    for _ in range(steps):
+        engine.forward_backward(*batch)
+    return engine, batch
+
+
+def test_shape_change_is_cache_miss_not_invalidation():
+    engine, batch = _warm_engine()
+    counters = replay_counters()
+    base = counters.snapshot()
+    rng = np.random.default_rng(7)
+    engine.forward_backward(*_batch(rng, 2, 6))    # smaller: slab still fits
+    d = counters.since(base)
+    assert d.captures == 1 and d.replays == 0      # fresh program, no stale
+    assert d.invalidations == 0
+    assert len(engine.programs) == 2               # both signatures cached
+
+
+def test_dtype_change_is_cache_miss():
+    engine, (toks, labels) = _warm_engine()
+    counters = replay_counters()
+    base = counters.snapshot()
+    engine.forward_backward(toks.astype(np.int32), labels)
+    d = counters.since(base)
+    assert d.captures == 1 and d.replays == 0
+    assert d.invalidations == 0
+    # and the int32 signature now replays on its own program
+    engine.forward_backward(toks.astype(np.int32), labels)
+    assert counters.since(base).replays == 1
+
+
+def test_loss_scale_change_is_cache_miss():
+    """A loss-scaler skip step changes grad_scale next step — that must
+    key a different program, never replay the old scale's one."""
+    engine, batch = _warm_engine()
+    counters = replay_counters()
+    base = counters.snapshot()
+    engine.forward_backward(*batch, grad_scale=2.0)
+    d = counters.since(base)
+    assert d.captures == 1 and d.replays == 0 and d.invalidations == 0
+    engine.forward_backward(*batch, grad_scale=2.0)
+    assert counters.since(base).replays == 1
+    assert len(engine.programs) == 2
+
+
+def test_arena_overflow_invalidates_and_recaptures():
+    """A batch outgrowing the slab regrows the arena; the regrow bumps the
+    generation and the old program must be detected stale.
+
+    The regrow lands one step late by design: the oversized step itself
+    runs with miss-fallback buffers (capture aborts), and the *next* eager
+    step's ``begin_step`` re-reserves.  Until that happens the old slab is
+    untouched, so the old program replaying in between is still sound.
+    """
+    engine, batch = _warm_engine()
+    old_prog = next(iter(engine.programs.values()))
+    counters = replay_counters()
+    base = counters.snapshot()
+    rng = np.random.default_rng(9)
+    big = _batch(rng, 4, 16)
+    engine.forward_backward(*big)      # misses mid-step: eager, no capture
+    assert counters.since(base).eager_fallbacks == 1
+    engine.forward_backward(*big)      # begin_step regrew: captures now
+    assert counters.since(base).captures == 1
+    old_replays = old_prog.replays
+    engine.forward_backward(*batch)    # old sig, stale program: invalidate
+    d = counters.since(base)
+    assert d.invalidations == 1
+    assert old_prog.replays == old_replays         # stale never dispatched
+    assert old_prog not in engine.programs.values()
+    engine.forward_backward(*batch)                # recaptured → replays
+    assert counters.since(base).replays >= 1
+
+
+def test_parameter_relink_invalidates():
+    """Re-linking parameter storage (workspace build) bumps the link epoch;
+    programs baked the old arrays in and must not touch them again."""
+    engine, batch = _warm_engine()
+    counters = replay_counters()
+    base = counters.snapshot()
+    p = next(engine.model.parameters())
+    p.link(p.data.copy(), p.grad.copy())           # same values, new memory
+    engine.forward_backward(*batch)
+    d = counters.since(base)
+    assert d.invalidations == 1 and d.replays == 0
+    engine.forward_backward(*batch)                # clean recapture → replay
+    assert counters.since(base).replays == 1
+
+
+def test_invalidation_preserves_parity_with_eager_twin():
+    seed = 4
+    reset_replay_counters()
+    eager = BertModel(_cfg(), seed=seed)
+    m = BertModel(_cfg(), seed=seed)
+    engine = CaptureReplayEngine(m, arena=ActivationArena())
+    rng = np.random.default_rng(21)
+    shapes = [(2, 8)] * 3 + [(4, 16)] * 2 + [(2, 8)] * 2
+    for i, (b, l) in enumerate(shapes):
+        batch = _batch(np.random.default_rng(100 + i), b, l)
+        loss_e, _ = eager.forward_backward(*batch)
+        loss_r, _ = engine.forward_backward(*batch)
+        assert loss_r == loss_e
+        for pe, pr in zip(eager.parameters(), m.parameters()):
+            assert np.array_equal(pe.grad, pr.grad), pe.name
+    assert replay_counters().invalidations >= 1
+
+
+def test_active_collector_forces_eager():
+    """While the numerics observatory is sampling, steps must run eagerly
+    so per-layer taps fire — replay skips layer code entirely."""
+    reset_replay_counters()
+    m = BertModel(_cfg(), seed=0)
+    trainer = make_trainer("lightseq", m, OptimizerSpec(lr=1e-3))
+    engine = CaptureReplayEngine(m, trainer, arena=ActivationArena())
+    col = NumericsCollector(1)                     # sample every step
+    rng = np.random.default_rng(0)
+    batch = _batch(rng, 2, 8)
+    with use_collector(col):
+        for _ in range(4):
+            engine.step(batch)
+    counters = replay_counters()
+    assert counters.replays == 0
+    assert counters.eager_fallbacks == 4
+    assert len(col.records) == 4                   # every step observed
+
+
+def test_replayed_steps_emit_stage_spans():
+    engine, batch = _warm_engine()
+    rec = SpanRecorder()
+    with use_device(Device()), use_recorder(rec):
+        engine.forward_backward(*batch)            # a replay
+    assert replay_counters().replays >= 2
+    replay_spans = [s for s in rec.spans if s.attrs.get("replay")]
+    assert {s.name for s in replay_spans} == {"train/forward",
+                                              "train/backward"}
+    assert all(s.launches > 0 for s in replay_spans)
+    assert any("attrs" in s.as_dict() for s in replay_spans)
+
+
+def test_engine_step_matches_train_step():
+    """The full optimisation loop — zero-grad, scaler, update — through
+    the engine is bit-identical to ``loop.train_step``, including the
+    steps that replayed."""
+    reset_replay_counters()
+    seed = 11
+    m_ref = BertModel(_cfg(fp16=True), seed=seed)
+    t_ref = make_trainer("lightseq", m_ref, OptimizerSpec(lr=1e-3))
+    m_rep = BertModel(_cfg(fp16=True), seed=seed)
+    t_rep = make_trainer("lightseq", m_rep, OptimizerSpec(lr=1e-3))
+    engine = CaptureReplayEngine(m_rep, t_rep, arena=ActivationArena())
+    rng = np.random.default_rng(3)
+    batch = _batch(rng, 2, 8)
+    for _ in range(5):
+        res_ref = train_step(m_ref, t_ref, batch)
+        res_rep = engine.step(batch)
+        assert res_rep.loss == res_ref.loss
+        assert res_rep.applied == res_ref.applied
+        for pe, pr in zip(m_ref.parameters(), m_rep.parameters()):
+            assert np.array_equal(pe.data, pr.data), pe.name
+    assert replay_counters().replays >= 1
