@@ -65,11 +65,28 @@ def _nbytes(shape: Sequence[int], dtype) -> int:
     return n * np.dtype(dtype).itemsize
 
 
-class ActivationArena:
-    """One pre-reserved slab serving all kernel outputs of a training step."""
+class ArenaOOM(RuntimeError):
+    """A step's activation demand exceeded the arena's ``max_bytes`` budget.
 
-    def __init__(self, device: Optional[Device] = None):
+    Raised *before* the offending buffer is allocated, so an over-budget
+    path (e.g. quadratic attention at long sequence length) fails fast
+    instead of materialising multi-GB host arrays first.
+    """
+
+
+class ActivationArena:
+    """One pre-reserved slab serving all kernel outputs of a training step.
+
+    ``max_bytes`` models the device-memory budget: when set, any step whose
+    cumulative demand would exceed it raises :class:`ArenaOOM` at request
+    time (and reservation refuses to grow past it).  ``None`` (default)
+    keeps the historical unbounded behaviour.
+    """
+
+    def __init__(self, device: Optional[Device] = None, *,
+                 max_bytes: Optional[int] = None):
         self._device = device
+        self.max_bytes = max_bytes
         # zero-capacity allocator: every request misses but demand is still
         # recorded, so the first step doubles as the dry-run shape scan
         self._alloc = StaticPlanAllocator(device)
@@ -108,6 +125,10 @@ class ActivationArena:
         # span import is deferred: backend.kernels imports this module
         # during package init, before repro.obs can finish loading.
         from ..obs.spans import span
+        if self.max_bytes is not None and nbytes > self.max_bytes:
+            raise ArenaOOM(
+                f"arena reservation of {nbytes} bytes exceeds the "
+                f"max_bytes budget of {self.max_bytes}")
         with span("arena/reserve"):
             self._alloc = StaticPlanAllocator(self._device)
             self._alloc.reserve(nbytes)
@@ -153,6 +174,12 @@ class ActivationArena:
         nbytes = _nbytes(shape, dtype)
         if nbytes == 0:
             return np.empty(shape, dtype)
+        if (self.max_bytes is not None
+                and self._alloc.demand + nbytes > self.max_bytes):
+            raise ArenaOOM(
+                f"step demand {self._alloc.demand + nbytes} bytes for "
+                f"{shape} {dtype} exceeds the max_bytes budget of "
+                f"{self.max_bytes}")
         blk = self._alloc.try_alloc(nbytes)
         if blk is None:
             count_arena_miss(nbytes)

@@ -78,6 +78,7 @@ from . import (  # noqa: E402  (re-export after helpers they depend on)
     criterion,
     elementwise,
     embedding,
+    flash,
     gemm,
     layernorm,
     optimizer,
@@ -89,5 +90,5 @@ from . import (  # noqa: E402  (re-export after helpers they depend on)
 __all__ = [
     "record", "elems", "out_buffer", "capturable", "gemm", "elementwise",
     "layernorm", "softmax", "embedding", "criterion", "transform",
-    "optimizer", "padding",
+    "optimizer", "padding", "flash",
 ]

@@ -47,6 +47,16 @@ class LSConfig:
     padding_idx: int = 1          # fairseq convention: <pad> = 1
     #: LightSeq2 fused kernels (True) or naive per-op baseline (False).
     fused: bool = True
+    #: attention score-path implementation: "naive" (per-op kernels),
+    #: "fused" (one softmax+dropout launch over the full L^2 scores),
+    #: "tiled" (FlashAttention-style blockwise kernels, O(L) activations),
+    #: or "auto" (follow ``fused``).  Projections stay governed by
+    #: ``fused``; this flag selects only the score/softmax/context path.
+    attn_impl: str = "auto"
+    #: score-tile edges for the tiled attention path (rows x cols of the
+    #: on-chip block; the backward working set is one such tile).
+    attn_tile_q: int = 128
+    attn_tile_k: int = 128
     #: patch size / image size for ViT presets.
     patch_size: int = 32
     image_size: int = 224
@@ -68,10 +78,23 @@ class LSConfig:
             raise ValueError(
                 "max_batch_tokens must be at least max_seq_len "
                 f"({self.max_batch_tokens} < {self.max_seq_len})")
+        if self.attn_impl not in ("auto", "naive", "fused", "tiled"):
+            raise ValueError(
+                f"attn_impl must be auto|naive|fused|tiled, "
+                f"got {self.attn_impl!r}")
+        if self.attn_tile_q < 1 or self.attn_tile_k < 1:
+            raise ValueError("attention tile sizes must be >= 1")
 
     @property
     def head_dim(self) -> int:
         return self.hidden_dim // self.nhead
+
+    @property
+    def resolved_attn_impl(self) -> str:
+        """``attn_impl`` with "auto" resolved against ``fused``."""
+        if self.attn_impl == "auto":
+            return "fused" if self.fused else "naive"
+        return self.attn_impl
 
     @property
     def max_batch_size(self) -> int:

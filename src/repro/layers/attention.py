@@ -21,12 +21,13 @@ Masks are additive FP32 tensors broadcastable to (B, N, Lq, Lk); helpers
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Optional, Tuple
 
 import numpy as np
 
 from ..backend.kernels import elementwise as ew
-from ..backend.kernels import gemm, softmax, transform
+from ..backend.kernels import flash, gemm, softmax, transform
 from ..backend.program import capturable
 from ..config import LSConfig
 from . import initializers as init
@@ -46,22 +47,43 @@ def padding_mask(tokens: np.ndarray, padding_idx: int) -> np.ndarray:
                     )[:, None, None, :].astype(np.float32)
 
 
+@lru_cache(maxsize=64)
+def _causal_mask_cached(seq_len: int) -> np.ndarray:
+    m = np.triu(np.full((seq_len, seq_len), NEG_INF, dtype=np.float32), k=1)
+    m = m[None, None, :, :]
+    m.setflags(write=False)     # shared across steps: callers must not mutate
+    return m
+
+
 @capturable()
 def causal_mask(seq_len: int) -> np.ndarray:
-    """(1, 1, L, L) additive future mask (decoder self-attention)."""
-    m = np.triu(np.full((seq_len, seq_len), NEG_INF, dtype=np.float32), k=1)
-    return m[None, None, :, :]
+    """(1, 1, L, L) additive future mask (decoder self-attention).
+
+    Memoized per ``seq_len`` — the O(L^2) triangle is built once, not per
+    forward.  The returned array is read-only; the tiled attention path
+    avoids it entirely (pass ``causal=True`` to the kernels instead).
+    """
+    return _causal_mask_cached(int(seq_len))
 
 
 @capturable()
 def combine_masks(*masks: Optional[np.ndarray]) -> Optional[np.ndarray]:
-    """Sum additive masks, ignoring Nones."""
+    """Sum additive masks, ignoring Nones.
+
+    Accumulates into ONE broadcast-shaped buffer (a single allocation)
+    instead of allocating a fresh array per addend; a lone mask is passed
+    through untouched.
+    """
     present = [m for m in masks if m is not None]
     if not present:
         return None
-    out = present[0]
+    if len(present) == 1:
+        return present[0]
+    shape = np.broadcast_shapes(*(m.shape for m in present))
+    out = np.empty(shape, np.result_type(*present))
+    np.copyto(out, present[0])
     for m in present[1:]:
-        out = out + m
+        out += m
     return out
 
 
@@ -90,20 +112,29 @@ class MultiHeadAttention(Layer):
     # -- forward ---------------------------------------------------------------
 
     def forward(self, x: np.ndarray, kv: Optional[np.ndarray] = None,
-                mask: Optional[np.ndarray] = None) -> np.ndarray:
+                mask: Optional[np.ndarray] = None,
+                causal: bool = False) -> np.ndarray:
         """Attention output *before* the out-proj bias.
 
         ``x``: query input (B, Lq, H).  ``kv``: key/value input for
         cross-attention (B, Lk, H); must be None for self-attention.
         ``mask``: additive mask broadcastable to (B, N, Lq, Lk).
+        ``causal``: apply the future mask without requiring the caller to
+        materialise it — the tiled path skips above-diagonal tiles, the
+        dense paths fold a (memoized) :func:`causal_mask` into ``mask``.
         """
         if self.is_cross and kv is None:
             raise ValueError(f"{self.name}: cross-attention requires kv input")
         if not self.is_cross and kv is not None:
             raise ValueError(f"{self.name}: self-attention takes no kv input")
-        fused = self.config.fused
-        fp16 = self.config.fp16
-        nhead = self.config.nhead
+        if causal and self.is_cross:
+            raise ValueError(f"{self.name}: causal cross-attention is "
+                             "not a thing")
+        cfg = self.config
+        impl = cfg.resolved_attn_impl
+        fused = cfg.fused
+        fp16 = cfg.fp16
+        nhead = cfg.nhead
         p_attn = self.attn_dropout_p
 
         if self.is_cross:
@@ -111,10 +142,31 @@ class MultiHeadAttention(Layer):
         else:
             q, k, v = self._project_self(x, fused, fp16, nhead)
 
+        if impl == "tiled":
+            ctx, stats, seed = flash.flash_attn_forward(
+                q, k, v, self.scale, mask, p_attn, self.rng, causal=causal,
+                tile_q=cfg.attn_tile_q, tile_k=cfg.attn_tile_k, fp16=fp16)
+            merged = transform.merge_heads_naive(ctx, fp16=fp16)
+            out = gemm.linear_forward(merged, self.w_o.compute(), fp16=fp16,
+                                      name="gemm_out_proj")
+            self.tap("out", out)
+            self.save(x=x, kv=kv if self.is_cross else x, q=q, k=k, v=v,
+                      ctx=ctx, stats=stats, seed=seed, mask=mask,
+                      merged=merged)
+            self._tiled_causal = causal
+            self._tiled_p = p_attn
+            self._had_dropout = p_attn > 0
+            return out
+
+        if causal:
+            # dense paths need the materialised triangle; memoized, and
+            # combined causal-first to match the models' historical order
+            mask = combine_masks(causal_mask(x.shape[1]), mask)
+
         # scores, softmax and attention dropout
         kt = np.swapaxes(k, -1, -2)
         scores = gemm.batched_matmul(q, kt, fp16=fp16, name="gemm_qk")
-        if fused:
+        if impl == "fused":
             # ONE kernel: scale + mask + softmax + dropout (probs never
             # round-trip through memory undropped); dmask is None if p == 0
             probs_d, probs, dmask = \
@@ -184,15 +236,16 @@ class MultiHeadAttention(Layer):
         Returns ``(d_x, d_kv)``; ``d_kv`` is None for self-attention (the
         kv gradient is already folded into ``d_x``).
         """
-        fused = self.config.fused
-        fp16 = self.config.fp16
+        cfg = self.config
+        impl = cfg.resolved_attn_impl
+        fused = cfg.fused
+        fp16 = cfg.fp16
         p_attn = self.attn_dropout_p
         x = self.saved("x")
         q, k, v = self.saved("q"), self.saved("k"), self.saved("v")
-        probs, probs_d = self.saved("probs"), self.saved("probs_d")
         merged = self.saved("merged")
-        nhead = self.config.nhead
-        plan = self._backward_plan(q, k, fused)
+        nhead = cfg.nhead
+        plan = self._backward_plan(q, k, fused, tiled=impl == "tiled")
 
         def buf(key):
             return plan[key] if plan is not None else None
@@ -205,6 +258,21 @@ class MultiHeadAttention(Layer):
         d_ctx = transform.split_heads_naive(d_merged, nhead, fp16=fp16,
                                             out=buf("d_ctx"))
 
+        if impl == "tiled":
+            d_q, d_k, d_v = flash.flash_attn_backward(
+                d_ctx, q, k, v, self.saved("ctx"), self.saved("stats"),
+                self.saved("seed"), self.scale, self.saved("mask"),
+                self._tiled_p, causal=self._tiled_causal,
+                tile_q=cfg.attn_tile_q, tile_k=cfg.attn_tile_k, fp16=fp16,
+                ws=buf("flash_ws"), out_dq=buf("d_q"), out_dk=buf("d_k"),
+                out_dv=buf("d_v"))
+            if self.is_cross:
+                return self._backward_cross(x, d_q, d_k, d_v, fused, fp16,
+                                            nhead)
+            return self._backward_self(x, d_q, d_k, d_v, fused, fp16,
+                                       nhead, plan), None
+
+        probs, probs_d = self.saved("probs"), self.saved("probs_d")
         # probs @ v — d_probs lands in the lifetime-shared probs/scores slot
         d_probs_d = gemm.batched_matmul(
             d_ctx, np.swapaxes(v, -1, -2), fp16=fp16, name="gemm_pv_dprobs",
@@ -217,7 +285,7 @@ class MultiHeadAttention(Layer):
         # gradient overwrites the probs gradient *in place* (the Fig. 8
         # reuse): the kernels finish their row reductions over dy before
         # writing, so aliasing out with d_probs_d is safe.
-        if fused:
+        if impl == "fused":
             dmask = self.saved("dmask") if self._had_dropout else None
             d_scores = softmax.attn_softmax_dropout_backward_fused(
                 d_probs_d, probs, dmask, self.scale,
@@ -245,7 +313,8 @@ class MultiHeadAttention(Layer):
         return self._backward_self(x, d_q, d_k, d_v, fused, fp16, nhead,
                                    plan), None
 
-    def _backward_plan(self, q: np.ndarray, k: np.ndarray, fused: bool):
+    def _backward_plan(self, q: np.ndarray, k: np.ndarray, fused: bool,
+                       tiled: bool = False):
         """Lifetime-shared slab views for the backward's intermediates.
 
         Execution steps: 0 out-proj dx, 1 head split, 2 dprobs GEMM,
@@ -257,6 +326,12 @@ class MultiHeadAttention(Layer):
         :func:`~repro.backend.allocator.plan_offsets`.  Requires float32
         compute (always true under COMPUTE_DTYPE) — with no arena threaded
         returns None and every kernel falls back transparently.
+
+        ``tiled=True`` is the O(L) plan: steps 2–6 collapse into one flash
+        backward launch, and the quadratic ``d_probs_scores`` slot is
+        replaced by ``flash_ws`` — a single score-tile working set of
+        ``min(tile_q, Lq) x min(tile_k, Lk)`` per (batch, head) — so the
+        dry-run scan reserves a slab that stays flat in sequence length.
         """
         arena = self.arena
         if arena is None:
@@ -265,14 +340,26 @@ class MultiHeadAttention(Layer):
         lk = k.shape[2]
         h = n * dh
         f32 = np.dtype(np.float32)
-        entries = [
-            ("d_merged", (b, lq, h), f32, 0, 2),
-            ("d_ctx", (b, n, lq, dh), f32, 1, 4),
-            ("d_probs_scores", (b, n, lq, lk), f32, 2, 7),
-            ("d_v", (b, n, lk, dh), f32, 3, 8),
-            ("d_q", (b, n, lq, dh), f32, 5, 8),
-            ("d_k", (b, n, lk, dh), f32, 6, 8),
-        ]
+        if tiled:
+            tq = min(self.config.attn_tile_q, lq)
+            tk = min(self.config.attn_tile_k, lk)
+            entries = [
+                ("d_merged", (b, lq, h), f32, 0, 2),
+                ("d_ctx", (b, n, lq, dh), f32, 1, 3),
+                ("flash_ws", (b, n, tq, tk), f32, 2, 3),
+                ("d_v", (b, n, lk, dh), f32, 2, 8),
+                ("d_q", (b, n, lq, dh), f32, 2, 8),
+                ("d_k", (b, n, lk, dh), f32, 2, 8),
+            ]
+        else:
+            entries = [
+                ("d_merged", (b, lq, h), f32, 0, 2),
+                ("d_ctx", (b, n, lq, dh), f32, 1, 4),
+                ("d_probs_scores", (b, n, lq, lk), f32, 2, 7),
+                ("d_v", (b, n, lk, dh), f32, 3, 8),
+                ("d_q", (b, n, lq, dh), f32, 5, 8),
+                ("d_k", (b, n, lk, dh), f32, 6, 8),
+            ]
         if fused and not self.is_cross:
             entries += [
                 ("d_qkv", (b, lq, 3 * h), f32, 7, 9),

@@ -99,18 +99,21 @@ class LSTransformerDecoderLayer(Layer):
 
     def forward(self, x: np.ndarray, enc_out: np.ndarray,
                 self_mask: Optional[np.ndarray] = None,
-                cross_mask: Optional[np.ndarray] = None) -> np.ndarray:
+                cross_mask: Optional[np.ndarray] = None,
+                self_causal: bool = False) -> np.ndarray:
         """``x``: decoder stream (B, Lt, H); ``enc_out``: (B, Ls, H).
 
         ``self_mask`` should include the causal mask (see
-        :func:`repro.layers.attention.causal_mask`); ``cross_mask`` masks
-        encoder padding positions.
+        :func:`repro.layers.attention.causal_mask`) unless
+        ``self_causal=True``, which applies it inside the attention layer
+        (tile-skipped on the tiled path, never materialised at L x L);
+        ``cross_mask`` masks encoder padding positions.
         """
         pre_ln = self.config.pre_layer_norm
         # --- masked self-attention
         residual = x
         y = self._ln1.forward(x, "ln1") if pre_ln else x
-        z = self.self_attn.forward(y, mask=self_mask)
+        z = self.self_attn.forward(y, mask=self_mask, causal=self_causal)
         h = self._epilogue_fwd(z, self.b_self_o, residual, "self")
         if not pre_ln:
             h = self._ln1.forward(h, "ln1")

@@ -127,13 +127,16 @@ class LSTransformerEncoderLayer(Layer):
     # -- forward / backward --------------------------------------------------------
 
     def forward(self, x: np.ndarray,
-                mask: Optional[np.ndarray] = None) -> np.ndarray:
-        """``x``: (B, L, H); ``mask``: additive attention mask or None."""
+                mask: Optional[np.ndarray] = None,
+                causal: bool = False) -> np.ndarray:
+        """``x``: (B, L, H); ``mask``: additive attention mask or None.
+        ``causal`` applies the future mask inside attention (GPT blocks)
+        without the caller materialising an L x L triangle."""
         pre_ln = self.config.pre_layer_norm
         # --- self-attention sublayer
         residual = x
         y = self._ln1.forward(x, "ln1") if pre_ln else x
-        z = self.attn.forward(y, mask=mask)
+        z = self.attn.forward(y, mask=mask, causal=causal)
         h = self._epilogue_fwd(z, self.b_attn_o, residual, "attn")
         if not pre_ln:
             h = self._ln1.forward(h, "ln1")

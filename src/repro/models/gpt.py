@@ -54,11 +54,18 @@ class GPTModel(Layer):
         """``tokens``: (B, L) input ids; ``targets``: (B, L) next tokens
         (padding_idx positions are excluded from the loss)."""
         cfg = self.config
-        mask = combine_masks(causal_mask(tokens.shape[1]),
-                             padding_mask(tokens, cfg.padding_idx))
+        pad = padding_mask(tokens, cfg.padding_idx)
+        if cfg.resolved_attn_impl == "tiled":
+            # the tiled kernels take causal=True: the L x L triangle is
+            # never materialised (diagonal tiles mask locally, the rest
+            # are skipped); only the O(L) padding mask is passed through
+            mask, causal = pad, True
+        else:
+            mask, causal = combine_masks(causal_mask(tokens.shape[1]),
+                                         pad), False
         x = self.embed.forward(tokens)
         for blk in self.blocks:
-            x = blk.forward(x, mask=mask)
+            x = blk.forward(x, mask=mask, causal=causal)
         if cfg.pre_layer_norm:
             x = self._ln.forward(x, "final_ln")
         logits = self.out_proj.forward(x)

@@ -95,11 +95,13 @@ class TransformerModel(Layer):
     def decode(self, tgt_tokens: np.ndarray, enc_out: np.ndarray,
                src_tokens: np.ndarray) -> np.ndarray:
         x = self.tgt_embed.forward(tgt_tokens)
-        self_mask = causal_mask(tgt_tokens.shape[1])
+        tiled = self.config.resolved_attn_impl == "tiled"
+        # tiled self-attention applies causality per tile; no L x L mask
+        self_mask = None if tiled else causal_mask(tgt_tokens.shape[1])
         cross_mask = padding_mask(src_tokens, self.config.padding_idx)
         for layer in self.decoder_layers:
             x = layer.forward(x, enc_out, self_mask=self_mask,
-                              cross_mask=cross_mask)
+                              cross_mask=cross_mask, self_causal=tiled)
         if self.config.pre_layer_norm:
             x = self._dec_ln.forward(x, "dec_ln")
         return x

@@ -62,10 +62,20 @@ def config_hash(config: Optional[Mapping]) -> Optional[str]:
 
 
 def provenance(config: Optional[Mapping] = None) -> Dict[str, object]:
-    """The provenance block stamped into run records and JSONL headers."""
-    return {
+    """The provenance block stamped into run records and JSONL headers.
+
+    Execution-affecting kernel-path toggles are surfaced *by name* (not
+    just folded into the opaque config hash) so records produced with
+    different implementations are visibly incomparable: today that is
+    ``attn_impl`` — a BENCH record from the tiled attention path must
+    never be diffed against a fused baseline silently.
+    """
+    block: Dict[str, object] = {
         "provenance_schema": PROVENANCE_SCHEMA,
         "git_sha": git_sha(),
         "config_hash": config_hash(config),
         "python": platform.python_version(),
     }
+    if config is not None and "attn_impl" in config:
+        block["attn_impl"] = str(config["attn_impl"])
+    return block

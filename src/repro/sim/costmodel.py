@@ -27,6 +27,7 @@ from .gpu_specs import (GPUSpec, HOST_OVERHEAD_US, efficiency,
 #: substrings that map a kernel name onto a cost-model family, checked in
 #: order (first match wins).
 _FAMILY_PATTERNS = (
+    ("flash", "attention"),
     ("layernorm", "layernorm"),
     ("softmax", "softmax"),
     ("dropout", "dropout"),
@@ -100,7 +101,13 @@ class TraceCost:
     def add(self, k: KernelLaunch, t: float) -> None:
         self.total_s += t
         self.by_stage[k.stage] = self.by_stage.get(k.stage, 0.0) + t
-        fam = "gemm" if k.is_gemm else kernel_family(k.name)
+        # GEMM-priced launches land in the "gemm" bucket unless their name
+        # claims a more specific family (the tiled attention kernels are
+        # GEMM-bound but reported as "attention" so fused-vs-tiled traffic
+        # is comparable per family)
+        fam = kernel_family(k.name)
+        if k.is_gemm and fam == "elementwise":
+            fam = "gemm"
         self.by_family[fam] = self.by_family.get(fam, 0.0) + t
         if k.is_gemm:
             self.gemm_s += t
@@ -116,6 +123,27 @@ def trace_cost(trace: Iterable[KernelLaunch], spec: GPUSpec, *,
     for k in trace:
         cost.add(k, kernel_time(k, spec, include_host=include_host))
     return cost
+
+
+def trace_hbm_bytes(trace: Iterable[KernelLaunch],
+                    family: str = None) -> int:
+    """Modelled HBM bytes moved by a trace, optionally one family only.
+
+    This is the quantity the tiled-attention bench gates on: the fused
+    path round-trips the (B, N, L, L) score/probs tensors through memory
+    every step, the tiled path re-reads K/V once per query tile instead —
+    at long L the per-step byte count drops by orders of magnitude even
+    though the FLOPs are (slightly more than) the same.
+    """
+    total = 0
+    for k in trace:
+        fam = kernel_family(k.name)
+        if k.is_gemm and fam == "elementwise":
+            fam = "gemm"
+        if family is not None and fam != family:
+            continue
+        total += k.bytes_moved
+    return int(total)
 
 
 def stage_seconds(trace: Iterable[KernelLaunch], spec: GPUSpec

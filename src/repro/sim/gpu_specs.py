@@ -115,7 +115,8 @@ def _grow(eff_lo: float, eff_hi: float, n_mid: float
 
 #: kernel families recognised by the cost model.
 FAMILIES = ("layernorm", "softmax", "dropout", "elementwise", "transpose",
-            "embedding", "criterion", "optimizer", "reduction", "memcpy")
+            "embedding", "criterion", "optimizer", "reduction", "memcpy",
+            "attention")
 
 #: bandwidth efficiency (fraction of peak HBM BW) by (lib, family) and size.
 #: Calibrated to the paper's kernel benchmarks:
@@ -127,6 +128,8 @@ EFFICIENCY: Dict[str, Dict[str, Callable[[int], float]]] = {
     "lightseq2": {
         "layernorm": _flat(0.88),
         "softmax": _grow(0.45, 0.92, 2.0e6),
+        # tiled flash-style kernels: tile residency improves with size
+        "attention": _grow(0.55, 0.92, 1.0e6),
         "dropout": _flat(0.85),
         "elementwise": _flat(0.85),
         "transpose": _flat(0.80),
@@ -139,6 +142,7 @@ EFFICIENCY: Dict[str, Dict[str, Callable[[int], float]]] = {
     "pytorch": {
         "layernorm": _flat(0.45),
         "softmax": _flat(0.42),
+        "attention": _flat(0.50),
         "dropout": _grow(0.55, 0.75, 5.0e6),
         "elementwise": _grow(0.55, 0.70, 5.0e6),
         "transpose": _flat(0.55),
@@ -151,6 +155,7 @@ EFFICIENCY: Dict[str, Dict[str, Callable[[int], float]]] = {
     "deepspeed": {
         "layernorm": _decay(0.80, 6.0e6, 1.2),
         "softmax": _decay(0.55, 6.0e6, 0.6),
+        "attention": _flat(0.55),
         "dropout": _decay(0.75, 8.0e6, 0.9),
         "elementwise": _flat(0.70),
         "transpose": _flat(0.65),
@@ -163,6 +168,7 @@ EFFICIENCY: Dict[str, Dict[str, Callable[[int], float]]] = {
     "tensorflow": {
         "layernorm": _grow(0.12, 0.40, 3.0e7),  # catches up only when huge
         "softmax": _flat(0.30),
+        "attention": _flat(0.40),
         "dropout": _grow(0.40, 0.58, 5.0e6),
         "elementwise": _flat(0.50),
         "transpose": _flat(0.50),
@@ -175,6 +181,7 @@ EFFICIENCY: Dict[str, Dict[str, Callable[[int], float]]] = {
     "apex": {
         "layernorm": _flat(0.60),
         "softmax": _flat(0.45),
+        "attention": _flat(0.50),
         "dropout": _flat(0.62),
         "elementwise": _flat(0.60),
         "transpose": _flat(0.55),

@@ -63,6 +63,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fp16", action="store_true")
     p.add_argument("--no-fused", action="store_true",
                    help="use the naive per-op kernel path")
+    p.add_argument("--attn-impl", choices=("auto", "naive", "fused", "tiled"),
+                   default="auto",
+                   help="attention score-path kernels: tiled = "
+                        "FlashAttention-style blockwise forward/backward "
+                        "with O(L) activation memory (auto follows "
+                        "--no-fused); stamped into run provenance")
     p.add_argument("--lr", type=float, default=5e-4)
     p.add_argument("--warmup", type=int, default=100)
     p.add_argument("--seed", type=int, default=1)
@@ -118,7 +124,8 @@ def _config(args) -> LSConfig:
             extra.pop("vocab_size")
     return get_config(preset, max_batch_tokens=max(args.max_tokens, 256),
                       max_seq_len=256, fp16=args.fp16,
-                      fused=not args.no_fused, **extra)
+                      fused=not args.no_fused, attn_impl=args.attn_impl,
+                      **extra)
 
 
 def _build_task(args, cfg: LSConfig

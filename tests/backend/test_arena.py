@@ -9,7 +9,8 @@ slab, lifetime-shared plan blocks, the thread-local installation used by
 import numpy as np
 import pytest
 
-from repro.backend.arena import ActivationArena, current_arena, use_arena
+from repro.backend.arena import (ActivationArena, ArenaOOM, current_arena,
+                                 use_arena)
 from repro.backend.kernels import out_buffer
 from repro.backend.profiler import alloc_counters, reset_alloc_counters
 
@@ -218,6 +219,48 @@ class TestInstallation:
             reset_alloc_counters()
             arena.request((16, 16))
             assert alloc_counters().new_allocs == 0
+
+
+class TestMaxBytesBudget:
+    def test_unbounded_by_default(self):
+        arena = ActivationArena()
+        arena.begin_step()
+        assert arena.request((1 << 10,)).size == 1 << 10
+
+    def test_request_over_budget_raises_before_allocating(self):
+        arena = ActivationArena(max_bytes=256)
+        arena.begin_step()
+        arena.request((32,))                  # 128 bytes: fine
+        reset_alloc_counters()
+        with pytest.raises(ArenaOOM):
+            arena.request((64,))              # would push demand to 384
+        # the refusal happened at request time: nothing was allocated
+        assert alloc_counters().fresh == 0
+
+    def test_within_budget_proceeds(self):
+        arena = ActivationArena(max_bytes=1024)
+        arena.begin_step()
+        a = arena.request((64,))              # 256 bytes
+        b = arena.request((64,))              # 512 total
+        assert a.nbytes + b.nbytes <= 1024
+
+    def test_reservation_refuses_to_outgrow_budget(self):
+        arena = ActivationArena(max_bytes=512)
+        with pytest.raises(ArenaOOM):
+            arena._reserve(1024)
+
+    def test_oom_message_names_the_budget(self):
+        arena = ActivationArena(max_bytes=100)
+        arena.begin_step()
+        with pytest.raises(ArenaOOM, match="100"):
+            arena.request((1000,))
+
+    def test_demand_resets_between_steps(self):
+        """The budget bounds *per-step* demand, not lifetime traffic."""
+        arena = ActivationArena(max_bytes=1024)
+        for _ in range(4):
+            arena.begin_step()
+            arena.request((128,))             # 512 bytes every step
 
 
 class TestCounters:

@@ -1,0 +1,144 @@
+"""Property-based naive↔tiled attention parity (hypothesis).
+
+Random geometry (batch, heads, Lq/Lk, head dim, tile edges), random
+padding and causal masking, dropout on or off: the streaming online-softmax
+kernels must agree with a dense reference computed the naive way — scores,
+materialised mask, full softmax, explicit keep-mask.  With dropout the
+reference regenerates the *same* keep decisions from the seed the kernel
+returned (:func:`flash.regen_dropout_mask`), so the comparison is exact up
+to summation order, not statistical.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backend.kernels import flash
+
+_NEG = np.float32(-1e9)
+
+
+def _dense_reference(q, k, v, scale, mask, p, seed, tile_q):
+    """Naive dense attention, dropout replayed from the kernel's seed."""
+    b, n, lq, _ = q.shape
+    lk = k.shape[2]
+    s = np.matmul(q, np.swapaxes(k, -1, -2)).astype(np.float64) * scale
+    if mask is not None:
+        s = s + mask
+    s = s - s.max(axis=-1, keepdims=True)
+    e = np.exp(s)
+    probs = e / e.sum(axis=-1, keepdims=True)
+    if p > 0 and int(seed[1]) != 0:
+        rows = []
+        for i in range(int(np.ceil(lq / tile_q))):
+            i0, i1 = i * tile_q, min(lq, (i + 1) * tile_q)
+            rows.append(flash.regen_dropout_mask(
+                seed[0], i, (b, n, i1 - i0, lk), p))
+        dmask = np.concatenate(rows, axis=2)
+        probs = probs * (dmask / (1.0 - p))
+    return np.matmul(probs, v.astype(np.float64))
+
+
+@st.composite
+def _cases(draw):
+    b = draw(st.integers(1, 2))
+    n = draw(st.integers(1, 2))
+    lq = draw(st.integers(1, 48))
+    dh = draw(st.integers(1, 8))
+    causal = draw(st.booleans())
+    # causal attention is self-attention: key length must equal query length
+    lk = lq if causal else draw(st.integers(1, 48))
+    tile_q = draw(st.sampled_from([8, 16, 64]))
+    tile_k = draw(st.sampled_from([8, 16, 64]))
+    padding = draw(st.booleans())
+    p = draw(st.sampled_from([0.0, 0.3]))
+    seed = draw(st.integers(0, 2 ** 31 - 1))
+    return b, n, lq, lk, dh, causal, tile_q, tile_k, padding, p, seed
+
+
+@given(_cases())
+@settings(max_examples=60, deadline=None)
+def test_tiled_matches_dense_reference(case):
+    b, n, lq, lk, dh, causal, tile_q, tile_k, padding, p, seed = case
+    rng = np.random.default_rng(seed)
+    q = rng.standard_normal((b, n, lq, dh)).astype(np.float32)
+    k = rng.standard_normal((b, n, lk, dh)).astype(np.float32)
+    v = rng.standard_normal((b, n, lk, dh)).astype(np.float32)
+    scale = 1.0 / np.sqrt(dh)
+
+    mask = None
+    if padding:
+        # padding-style additive mask over keys; keep at least one key per
+        # row visible so the softmax stays well-defined
+        blocked = rng.random((b, 1, 1, lk)) < 0.3
+        blocked[..., 0] = False
+        mask = np.where(blocked, _NEG, np.float32(0.0)).astype(np.float32)
+
+    o, stats, out_seed = flash.flash_attn_forward(
+        q, k, v, scale, mask, p, np.random.default_rng(seed + 1),
+        causal=causal, tile_q=tile_q, tile_k=tile_k)
+
+    dense_mask = mask
+    if causal:
+        tri = np.where(np.arange(lk)[None, :] > np.arange(lq)[:, None],
+                       _NEG, np.float32(0.0)).astype(np.float32)[None, None]
+        dense_mask = tri if mask is None else tri + mask
+    ref = _dense_reference(q, k, v, scale, dense_mask, p, out_seed, tile_q)
+    np.testing.assert_allclose(o, ref, rtol=1e-4, atol=1e-5)
+
+
+@given(_cases())
+@settings(max_examples=25, deadline=None)
+def test_tiled_backward_matches_dense_autodiff(case):
+    """dq/dk/dv against the analytic dense backward, same masking/dropout."""
+    b, n, lq, lk, dh, causal, tile_q, tile_k, padding, p, seed = case
+    rng = np.random.default_rng(seed)
+    q = rng.standard_normal((b, n, lq, dh)).astype(np.float32)
+    k = rng.standard_normal((b, n, lk, dh)).astype(np.float32)
+    v = rng.standard_normal((b, n, lk, dh)).astype(np.float32)
+    d_o = rng.standard_normal((b, n, lq, dh)).astype(np.float32)
+    scale = 1.0 / np.sqrt(dh)
+    mask = None
+    if padding:
+        blocked = rng.random((b, 1, 1, lk)) < 0.3
+        blocked[..., 0] = False
+        mask = np.where(blocked, _NEG, np.float32(0.0)).astype(np.float32)
+
+    o, stats, out_seed = flash.flash_attn_forward(
+        q, k, v, scale, mask, p, np.random.default_rng(seed + 1),
+        causal=causal, tile_q=tile_q, tile_k=tile_k)
+    dq, dk, dv = flash.flash_attn_backward(
+        d_o, q, k, v, o, stats, out_seed, scale, mask, p,
+        causal=causal, tile_q=tile_q, tile_k=tile_k)
+
+    # dense float64 backward with the identical dropped-probs tensor
+    dense_mask = mask
+    if causal:
+        tri = np.where(np.arange(lk)[None, :] > np.arange(lq)[:, None],
+                       _NEG, np.float32(0.0)).astype(np.float32)[None, None]
+        dense_mask = tri if mask is None else tri + mask
+    s = np.matmul(q, np.swapaxes(k, -1, -2)).astype(np.float64) * scale
+    if dense_mask is not None:
+        s = s + dense_mask
+    s = s - s.max(axis=-1, keepdims=True)
+    e = np.exp(s)
+    probs = e / e.sum(axis=-1, keepdims=True)
+    dfac = np.float64(1.0)
+    if p > 0 and int(out_seed[1]) != 0:
+        rows = [flash.regen_dropout_mask(out_seed[0], i,
+                                         (b, n, min(lq, (i + 1) * tile_q)
+                                          - i * tile_q, lk), p)
+                for i in range(int(np.ceil(lq / tile_q)))]
+        dfac = np.concatenate(rows, axis=2) / (1.0 - p)
+    pd = probs * dfac
+    g = np.matmul(d_o.astype(np.float64), np.swapaxes(v, -1, -2)) * dfac
+    dot = (g * probs).sum(axis=-1, keepdims=True)
+    ds = probs * (g - dot) * scale
+    dq_ref = np.matmul(ds, k.astype(np.float64))
+    dk_ref = np.matmul(np.swapaxes(ds, -1, -2), q.astype(np.float64))
+    dv_ref = np.matmul(np.swapaxes(pd, -1, -2), d_o.astype(np.float64))
+
+    tol = dict(rtol=1e-3, atol=2e-4)
+    np.testing.assert_allclose(dq, dq_ref, **tol)
+    np.testing.assert_allclose(dk, dk_ref, **tol)
+    np.testing.assert_allclose(dv, dv_ref, **tol)

@@ -131,3 +131,23 @@ def test_numerics_anomalies_in_trace(tmp_path, capsys):
     assert "numerics/collect" in {e["name"]
                                   for e in trace["traceEvents"]
                                   if e.get("cat") == "span"}
+
+
+def test_attn_impl_flag(tmp_path, capsys):
+    """--attn-impl tiled trains the causal task through the flash path and
+    stamps the choice into the metrics stream's provenance header."""
+    import json
+    assert build_parser().parse_args([]).attn_impl == "auto"
+    metrics_path = tmp_path / "m.jsonl"
+    rc = main(["--task", "gpt", "--steps", "2", "--max-tokens", "128",
+               "--attn-impl", "tiled", "--log-interval", "1",
+               "--metrics-out", str(metrics_path)])
+    assert rc == 0
+    assert "loss/tok" in capsys.readouterr().out
+    header = json.loads(metrics_path.read_text().splitlines()[0])
+    assert header["event"] == "header" and header["attn_impl"] == "tiled"
+
+
+def test_attn_impl_rejects_unknown(capsys):
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["--attn-impl", "quadratic"])
