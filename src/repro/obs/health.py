@@ -267,11 +267,40 @@ class SkipStreakDetector(Detector):
         return []
 
 
+class CommRetryDetector(Detector):
+    """Collective retries: recovered comm faults, or a retry storm.
+
+    A handful of recovered retries per run is the resilience layer doing
+    its job (warn — the operator should know the fabric is flaky); many
+    retries within one step means the link is effectively down and the
+    bounded-retry budget is about to be exhausted (error at
+    ``storm_limit``).
+    """
+
+    name = "comm_retry"
+
+    def __init__(self, storm_limit: int = 4):
+        self.storm_limit = storm_limit
+
+    def observe(self, rec: StepNumerics) -> List[Anomaly]:
+        n = rec.comm_retries
+        if n <= 0:
+            return []
+        storm = n >= self.storm_limit
+        return [Anomaly(
+            "comm_retry_storm" if storm else "comm_retry", rec.step,
+            severity="error" if storm else "warn",
+            detail=f"{n} collective retr{'y' if n == 1 else 'ies'} "
+                   f"recovered this step"
+                   + (f" (>= storm limit {self.storm_limit})"
+                      if storm else ""))]
+
+
 def default_detectors() -> List[Detector]:
     """The stock catalog, in attribution-priority order."""
     return [NonFiniteDetector(), GradNormSpikeDetector(),
             LossSpikeDetector(), DeadLayerDetector(), SaturationDetector(),
-            SkipStreakDetector()]
+            SkipStreakDetector(), CommRetryDetector()]
 
 
 class AnomalyEngine:
@@ -433,7 +462,8 @@ def analyze_rows(rows: Sequence[Dict[str, object]],
 
     # step rows alone still support loss/skip triage (numerics may be
     # sampled sparsely, or not at all)
-    step_engine = AnomalyEngine([LossSpikeDetector(), SkipStreakDetector()])
+    step_engine = AnomalyEngine([LossSpikeDetector(), SkipStreakDetector(),
+                                 CommRetryDetector()])
     streaks = _skip_streaks(step_rows)
     for r, streak in zip(step_rows, streaks):
         step_engine.observe(StepNumerics(
@@ -442,7 +472,8 @@ def analyze_rows(rows: Sequence[Dict[str, object]],
             applied=bool(r.get("applied", True)),
             loss_scale=(None if r.get("loss_scale") is None
                         else float(r["loss_scale"])),
-            skip_streak=streak))
+            skip_streak=streak,
+            comm_retries=int(r.get("comm_retries", 0))))
 
     seen = set()
     merged: List[Anomaly] = []
@@ -479,14 +510,25 @@ def analyze_rows(rows: Sequence[Dict[str, object]],
     )
 
 
-def _load_rows(path: str) -> List[Dict[str, object]]:
-    """Rows from a metrics JSONL, or from a run record's metrics section."""
+def _load_rows(path: str) -> "tuple[List[Dict[str, object]], int]":
+    """Rows from a metrics JSONL, or from a run record's metrics section.
+
+    Returns ``(rows, skipped)``: unparseable JSONL lines (the torn tail
+    of a crashed run, a corrupted block) are *skipped*, not fatal — the
+    triage of the surviving steps is exactly what the operator needs
+    after a crash.
+    """
     if path.endswith(".json"):
         from .runrecord import load_run_record
         record = load_run_record(path)
-        return [dict(m) for m in record.get("metrics", [])]
-    from .metrics import read_jsonl
-    return read_jsonl(path)
+        return [dict(m) for m in record.get("metrics", [])], 0
+    from .metrics import read_jsonl_tolerant
+    return read_jsonl_tolerant(path)
+
+
+#: exit code when unparseable lines were skipped but the surviving rows
+#: are healthy (distinct from 1 = anomalies, 2 = unreadable input).
+EXIT_SKIPPED_LINES = 4
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -494,22 +536,30 @@ def main(argv: Optional[List[str]] = None) -> int:
         prog="python -m repro.obs.health",
         description="Triage a training run's numerics: per-layer health "
                     "report, first-bad-step attribution, non-zero exit on "
-                    "anomalies.")
+                    "anomalies.  Truncated/corrupt JSONL lines are skipped "
+                    "with a warning (exit 4 if the rest is healthy).")
     p.add_argument("path", help="metrics JSONL (or BENCH_*.json run record)")
     p.add_argument("--json", action="store_true",
                    help="machine-readable report on stdout")
     args = p.parse_args(argv)
     try:
-        rows = _load_rows(args.path)
+        rows, skipped = _load_rows(args.path)
         report = analyze_rows(rows)
     except (OSError, ValueError) as e:
         print(f"error: {e}", file=sys.stderr)
         return 2
+    if skipped:
+        print(f"warning: skipped {skipped} unparseable line(s) in "
+              f"{args.path} (truncated or corrupt stream)", file=sys.stderr)
     if args.json:
-        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+        d = report.as_dict()
+        d["skipped_lines"] = skipped
+        print(json.dumps(d, indent=2, sort_keys=True))
     else:
         print(report.format())
-    return 0 if report.healthy else 1
+    if not report.healthy:
+        return 1
+    return EXIT_SKIPPED_LINES if skipped else 0
 
 
 if __name__ == "__main__":

@@ -57,6 +57,12 @@ class StepMetrics:
     # two-stream comm split (seconds; zero on single-device runs)
     comm_hidden_s: float = 0.0
     comm_exposed_s: float = 0.0
+    # resilience: collective retries this step and the deterministic
+    # backoff they waited through, plus faults injected so far (cumulative
+    # across the run, so a fault-plan replay is auditable from the stream)
+    comm_retries: int = 0
+    comm_retry_s: float = 0.0
+    faults_injected: int = 0
     # capture-replay engine outcome (§3.1 flat dispatch): whether this step
     # replayed a captured program, plus the cumulative engine counters
     replayed: bool = False
@@ -131,7 +137,9 @@ class MetricsRecorder:
                      arena: Optional[object] = None,
                      comm: Optional[object] = None,
                      replay: Optional[object] = None,
-                     replayed: bool = False) -> StepMetrics:
+                     replayed: bool = False,
+                     retry_stats: Optional[object] = None,
+                     faults: Optional[object] = None) -> StepMetrics:
         """Record one step.
 
         ``scaler`` (any loss scaler) contributes ``loss_scale`` and the
@@ -142,9 +150,13 @@ class MetricsRecorder:
         ``hidden_s``/``exposed_s``) contributing the comm split; ``replay``
         (a :class:`~repro.backend.profiler.ReplayCounters`) contributes the
         cumulative capture-replay totals and ``replayed`` flags whether
-        *this* step went through the flat dispatch loop.  The
-        allocation-counter delta is measured since the previous observed
-        step (or recorder construction).
+        *this* step went through the flat dispatch loop; ``retry_stats``
+        (a :class:`~repro.resilience.recovery.CommRetryStats`) contributes
+        this step's collective retries and backoff seconds; ``faults`` (a
+        :class:`~repro.resilience.faults.FaultInjector`) contributes the
+        cumulative injected-fault count.  The allocation-counter delta is
+        measured since the previous observed step (or recorder
+        construction).
         """
         with self._lock:
             delta = alloc_counters().since(self._alloc_base)
@@ -175,6 +187,12 @@ class MetricsRecorder:
                                if comm is not None else 0.0),
                 comm_exposed_s=(float(comm.exposed_s)
                                 if comm is not None else 0.0),
+                comm_retries=(int(retry_stats.step_retries)
+                              if retry_stats is not None else 0),
+                comm_retry_s=(float(retry_stats.step_backoff_s)
+                              if retry_stats is not None else 0.0),
+                faults_injected=(len(faults.injections)
+                                 if faults is not None else 0),
                 replayed=bool(replayed),
                 replay_captures=(int(replay.captures)
                                  if replay is not None else 0),
@@ -217,6 +235,7 @@ class MetricsRecorder:
             "arena_hits": sum(r.arena_hits for r in self.records),
             "comm_hidden_s": sum(r.comm_hidden_s for r in self.records),
             "comm_exposed_s": sum(r.comm_exposed_s for r in self.records),
+            "comm_retries": sum(r.comm_retries for r in self.records),
         }
 
 
@@ -235,6 +254,36 @@ def read_jsonl(path: str) -> List[Dict[str, object]]:
                     f"{path}:{lineno}: not one-JSON-object-per-line "
                     f"({e})") from e
     return out
+
+
+def read_jsonl_tolerant(path: str) -> "tuple[List[Dict[str, object]], int]":
+    """Parse a metrics JSONL, skipping unparseable lines.
+
+    A run killed mid-write (the very scenario the resilience layer
+    exists for) leaves a truncated final line; :func:`read_jsonl`'s
+    strict mode would reject the whole stream for it.  This variant
+    returns ``(rows, skipped)`` where ``skipped`` counts the dropped
+    lines — callers should surface a warning when it is non-zero.
+    Only lines that parse to JSON *objects* count as rows; a parseable
+    scalar fragment (e.g. a truncated ``"loss": 3.`` tail) is skipped.
+    """
+    out: List[Dict[str, object]] = []
+    skipped = 0
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError:
+                skipped += 1
+                continue
+            if isinstance(row, dict):
+                out.append(row)
+            else:
+                skipped += 1
+    return out, skipped
 
 
 def step_records(rows: List[Dict[str, object]]) -> List[Dict[str, object]]:

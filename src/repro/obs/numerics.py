@@ -184,6 +184,7 @@ class StepNumerics:
     grad_scale: float = 1.0
     global_grad_norm: float = 0.0       # unscaled: raw L2 * grad_scale
     skip_streak: int = 0
+    comm_retries: int = 0               # recovered collective faults
     groups: Dict[str, Dict[str, float]] = field(default_factory=dict)
     activations: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
@@ -198,6 +199,7 @@ class StepNumerics:
             "loss_scale": self.loss_scale, "grad_scale": self.grad_scale,
             "global_grad_norm": self.global_grad_norm,
             "skip_streak": self.skip_streak,
+            "comm_retries": self.comm_retries,
             "groups": {k: dict(v) for k, v in self.groups.items()},
             "activations": {k: dict(v)
                             for k, v in self.activations.items()},
@@ -214,6 +216,7 @@ class StepNumerics:
             grad_scale=float(d.get("grad_scale", 1.0)),
             global_grad_norm=float(d.get("global_grad_norm", 0.0)),
             skip_streak=int(d.get("skip_streak", 0)),
+            comm_retries=int(d.get("comm_retries", 0)),
             groups={str(k): dict(v)
                     for k, v in (d.get("groups") or {}).items()},
             activations={str(k): dict(v)

@@ -78,4 +78,12 @@ def provenance(config: Optional[Mapping] = None) -> Dict[str, object]:
     }
     if config is not None and "attn_impl" in config:
         block["attn_impl"] = str(config["attn_impl"])
+    if config is not None:
+        # An armed fault plan changes what the run *does* — a record from
+        # a fault-injected run must be visibly distinct from a clean one,
+        # and (plan digest, seed) is exactly what reproduces it.
+        for key in ("fault_plan", "fault_plan_digest", "fault_seed"):
+            if key in config and config[key] is not None:
+                block[key] = (int(config[key]) if key == "fault_seed"
+                              else str(config[key]))
     return block

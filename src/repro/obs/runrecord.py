@@ -80,9 +80,19 @@ def write_run_record(path: str, record: Dict[str, object]) -> None:
 
 
 def load_run_record(path: str) -> Dict[str, object]:
-    """Load and schema-check a run record."""
+    """Load and schema-check a run record.
+
+    A truncated or corrupt file (a record torn by a crash mid-write)
+    raises a clear ``ValueError`` naming the file, not a bare JSON
+    traceback.
+    """
     with open(path) as f:
-        record = json.load(f)
+        try:
+            record = json.load(f)
+        except json.JSONDecodeError as e:
+            raise ValueError(
+                f"{path}: run record is not valid JSON (truncated or "
+                f"corrupt write?): {e}") from e
     schema = record.get("schema") if isinstance(record, dict) else None
     if schema != RUN_RECORD_SCHEMA:
         raise ValueError(

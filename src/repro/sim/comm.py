@@ -23,10 +23,40 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..resilience.faults import CollectiveFault, current_injector
 from .gpu_specs import GPUSpec
 
 #: DDP default bucket size (25 MB), which fairseq/PyTorch DDP uses.
 DDP_BUCKET_BYTES = 25 * 1024 * 1024
+
+
+def _armed_fault(site: str):
+    """Consult the ambient fault injector at a collective's entry.
+
+    Returns ``(injector, firing_spec_or_None)``; with no injector
+    installed this is one module-level list check (the hot-path cost of
+    the whole fault-injection plane).  A ``drop`` fault raises *here*,
+    before any buffer mutates — the payload never arrived; a ``bitflip``
+    is returned to the caller to corrupt the *completed* result and then
+    raise, modeling link-level CRC detection after the damage is done
+    (so retry wrappers must snapshot/restore, which
+    :func:`repro.resilience.recovery.retry_collective` does).
+    """
+    injector = current_injector()
+    if injector is None:
+        return None, None
+    fault = injector.fire(site)
+    if fault is not None and fault.kind == "drop":
+        raise CollectiveFault(site, "drop", injector.step)
+    return injector, fault
+
+
+def _deliver_bitflip(site: str, injector, fault,
+                     buffers: Sequence[np.ndarray]) -> None:
+    """Corrupt one plan-seeded bit of the finished payload, then raise."""
+    if fault is not None:
+        injector.corrupt_one_bit(buffers)
+        raise CollectiveFault(site, "bitflip", injector.step)
 
 
 # ---------------------------------------------------------------------------
@@ -102,7 +132,9 @@ def ring_allreduce(buffers: Sequence[np.ndarray], *, average: bool = True
     for b in buffers:
         if b.ndim != 1 or b.size != n:
             raise ValueError("buffers must be equal-length 1-D arrays")
+    injector, fault = _armed_fault("comm.allreduce")
     if p == 1:
+        _deliver_bitflip("comm.allreduce", injector, fault, buffers)
         return
     # chunk boundaries: p chunks, nearly equal
     bounds = [round(i * n / p) for i in range(p + 1)]
@@ -136,6 +168,7 @@ def ring_allreduce(buffers: Sequence[np.ndarray], *, average: bool = True
         inv = np.asarray(1.0 / p, dtype=np.float32)
         for b in buffers:
             b *= inv.astype(b.dtype) if b.dtype != np.float32 else inv
+    _deliver_bitflip("comm.allreduce", injector, fault, buffers)
 
 
 def shard_bounds(n: int, world_size: int, rank: int) -> Tuple[int, int]:
@@ -174,7 +207,9 @@ def ring_reduce_scatter(buffers: Sequence[np.ndarray], *,
         if b.ndim != 1 or b.size != n:
             raise ValueError("buffers must be equal-length 1-D arrays")
     bounds = [shard_bounds(n, p, r) for r in range(p)]
+    injector, fault = _armed_fault("comm.reduce_scatter")
     if p == 1:
+        _deliver_bitflip("comm.reduce_scatter", injector, fault, buffers)
         return bounds
     chunks = bounds
     # identical schedule to ring_allreduce's reduce-scatter phase
@@ -202,6 +237,7 @@ def ring_reduce_scatter(buffers: Sequence[np.ndarray], *,
             inv = np.asarray(1.0 / p, dtype=np.float32)
             buffers[r][lo:hi] *= (inv.astype(buffers[r].dtype)
                                   if buffers[r].dtype != np.float32 else inv)
+    _deliver_bitflip("comm.reduce_scatter", injector, fault, buffers)
     return bounds
 
 
@@ -216,7 +252,9 @@ def ring_allgather(buffers: Sequence[np.ndarray]) -> None:
     for b in buffers:
         if b.ndim != 1 or b.size != n:
             raise ValueError("buffers must be equal-length 1-D arrays")
+    injector, fault = _armed_fault("comm.allgather")
     if p == 1:
+        _deliver_bitflip("comm.allgather", injector, fault, buffers)
         return
     chunks = [shard_bounds(n, p, r) for r in range(p)]
     # circulate owned chunks: at step s, device d forwards chunk (d - s) % p
@@ -230,6 +268,7 @@ def ring_allgather(buffers: Sequence[np.ndarray]) -> None:
             dst = (d + 1) % p
             lo, hi = chunks[c]
             buffers[dst][lo:hi] = data
+    _deliver_bitflip("comm.allgather", injector, fault, buffers)
 
 
 def deterministic_allreduce(contributions: Sequence[np.ndarray],

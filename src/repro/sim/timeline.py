@@ -120,8 +120,8 @@ def bucket_ready_times(buckets: Sequence[GradBucket],
 
 def overlap_schedule(buckets: Sequence[GradBucket], itemsize: int,
                      backward_s: float, world_size: int, spec: GPUSpec, *,
-                     overlap: bool = True,
-                     comm_seconds_fn=None) -> BucketSchedule:
+                     overlap: bool = True, comm_seconds_fn=None,
+                     straggler_delay_s: float = 0.0) -> BucketSchedule:
     """Schedule one step's bucketed gradient sync against backward compute.
 
     With ``overlap`` the comm stream serves buckets FIFO as they become
@@ -129,10 +129,16 @@ def overlap_schedule(buckets: Sequence[GradBucket], itemsize: int,
     synchronous-DDP baseline), so the entire comm time is exposed.
     ``comm_seconds_fn(nbytes, world, spec)`` prices one bucket's collective
     (default: ring all-reduce; pass :func:`reduce_scatter_seconds` for the
-    ZeRO-1 reduce-scatter phase).
+    ZeRO-1 reduce-scatter phase).  ``straggler_delay_s`` models one slow
+    rank: a ring collective moves at the slowest participant's pace, so
+    every bucket's launch slips by the delay — time past the backward
+    frontier surfaces as exposed comm (the fault-injection pricing for
+    the ``comm.straggler`` site).
     """
     if backward_s < 0:
         raise ValueError("backward_s must be non-negative")
+    if straggler_delay_s < 0:
+        raise ValueError("straggler_delay_s must be non-negative")
     price = comm_seconds_fn or ring_allreduce_seconds
     times = [price(b.nbytes(itemsize), world_size, spec)
              for b in reversed(buckets)]
@@ -143,6 +149,8 @@ def overlap_schedule(buckets: Sequence[GradBucket], itemsize: int,
         ready = bucket_ready_times(buckets, backward_s)
     else:
         ready = [backward_s] * len(buckets)
+    if straggler_delay_s:
+        ready = [r + straggler_delay_s for r in ready]
     start: List[float] = []
     finish: List[float] = []
     t = 0.0
@@ -154,6 +162,26 @@ def overlap_schedule(buckets: Sequence[GradBucket], itemsize: int,
     exposed = max(0.0, finish[-1] - backward_s)
     return BucketSchedule(tuple(ready), tuple(start), tuple(finish),
                           comm_total, exposed, backward_s)
+
+
+def with_extra_exposed(sched: BucketSchedule,
+                       extra_s: float) -> BucketSchedule:
+    """A schedule with ``extra_s`` of serial comm time appended to it.
+
+    Retried collectives (and their deterministic backoff waits) happen
+    *after* backward has produced the bucket — nothing hides them — so
+    they extend both the total and the exposed comm time while the
+    hidden split is unchanged.  This is how
+    :meth:`repro.training.data_parallel.DataParallel.sync_timeline`
+    prices a step's comm-fault retries.
+    """
+    if extra_s < 0:
+        raise ValueError("extra_s must be non-negative")
+    if extra_s == 0:
+        return sched
+    return BucketSchedule(sched.ready_s, sched.start_s, sched.finish_s,
+                          sched.comm_total_s + extra_s,
+                          sched.exposed_s + extra_s, sched.backward_s)
 
 
 @dataclass(frozen=True)

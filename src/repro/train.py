@@ -36,6 +36,8 @@ from .layers.base import Layer
 from .models import BertModel, GPTModel, TransformerModel, ViTModel
 from .precision import DynamicLossScaler
 from .sim import GPUS, trace_cost
+from .resilience import (CheckpointStore, FaultInjector, FaultPlan,
+                         PeriodicCheckpointer, TornWrite, use_faults)
 from .training import (CaptureReplayEngine, InverseSqrtSchedule,
                        OptimizerSpec, make_trainer, train_step)
 from .training.serialization import load_checkpoint, save_checkpoint
@@ -79,8 +81,28 @@ def build_parser() -> argparse.ArgumentParser:
                    help="use full paper-size presets (slow on CPU)")
     p.add_argument("--save-dir", default=None,
                    help="write a checkpoint here after training")
-    p.add_argument("--resume", action="store_true",
-                   help="load the checkpoint from --save-dir first")
+    p.add_argument("--resume", nargs="?", const="last", default=None,
+                   choices=("last", "auto"), metavar="MODE",
+                   help="load a checkpoint from --save-dir first: bare "
+                        "--resume loads the plain final checkpoint; "
+                        "'--resume auto' restores the newest checksum-"
+                        "valid crash-safe checkpoint (falling back past "
+                        "corrupt ones) and continues the loop from its "
+                        "step")
+    p.add_argument("--checkpoint-every", type=int, default=0, metavar="N",
+                   help="write a crash-safe checkpoint (atomic, CRC "
+                        "manifest, RNG state) to --save-dir every N steps; "
+                        "0 disables periodic checkpointing")
+    p.add_argument("--keep", type=int, default=3, metavar="K",
+                   help="retain the newest K periodic checkpoints "
+                        "(default 3)")
+    p.add_argument("--fault-plan", default=None, metavar="PATH",
+                   help="arm a deterministic fault-injection plan (JSON); "
+                        "an injected replica crash exits with code 4, "
+                        "leaving checkpoints for '--resume auto'")
+    p.add_argument("--fault-seed", type=int, default=None,
+                   help="override the fault plan's seed (reproduce or "
+                        "vary a fault scenario)")
     p.add_argument("--trace-out", default=None, metavar="PATH",
                    help="write a Chrome/Perfetto trace JSON of the run "
                         "(host spans + simulated kernel slices)")
@@ -174,17 +196,49 @@ def _build_task(args, cfg: LSConfig
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    plan = None
+    if args.fault_plan:
+        plan = FaultPlan.from_file(args.fault_plan)
+        if args.fault_seed is not None:
+            plan = plan.with_seed(args.fault_seed)
+        args.fault_plan_digest = plan.digest()   # into vars(args) provenance
+    if args.checkpoint_every < 0:
+        print("--checkpoint-every must be >= 0")
+        return 2
+    if args.checkpoint_every and not args.save_dir:
+        print("--checkpoint-every requires --save-dir")
+        return 2
     cfg = _config(args)
     model, batch_fn = _build_task(args, cfg)
     scaler = DynamicLossScaler() if args.fp16 else None
     trainer = make_trainer(args.trainer, model, OptimizerSpec(lr=args.lr),
                            scaler=scaler)
+    store = (CheckpointStore(args.save_dir, keep=args.keep)
+             if args.save_dir and (args.checkpoint_every
+                                   or args.resume == "auto") else None)
+    start_step = 0
     if args.resume:
         if not args.save_dir:
             print("--resume requires --save-dir")
             return 2
-        load_checkpoint(model, trainer, args.save_dir)
-        print(f"resumed from {args.save_dir} at step {trainer.step_count}")
+        if args.resume == "auto":
+            manifest = store.resume_auto(model, trainer)
+            if manifest is None:
+                print(f"no valid checkpoint in {args.save_dir}; "
+                      f"starting fresh")
+            else:
+                start_step = int(manifest.get("extra", {}).get(
+                    "loop_step", manifest["step"]))
+                skipped = manifest.get("skipped") or {}
+                for bad_step, problems in sorted(skipped.items()):
+                    print(f"skipped corrupt checkpoint step {bad_step}: "
+                          f"{problems[0]}")
+                print(f"resumed from {args.save_dir} at step {start_step} "
+                      f"(trainer step {trainer.step_count})")
+        else:
+            load_checkpoint(model, trainer, args.save_dir)
+            print(f"resumed from {args.save_dir} at step "
+                  f"{trainer.step_count}")
     sched = InverseSqrtSchedule(peak_lr=args.lr, warmup_steps=args.warmup)
     spec = GPUS[args.gpu]
     lib = "pytorch" if args.no_fused else "lightseq2"
@@ -207,17 +261,27 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.capture_replay:
         engine = CaptureReplayEngine(model, trainer,
                                      arena=ActivationArena())
+    checkpointer = (PeriodicCheckpointer(store, args.checkpoint_every)
+                    if store is not None and args.checkpoint_every else None)
+    injector = FaultInjector(plan) if plan is not None else None
     kept_launches: List[KernelLaunch] = []
     window_loss = window_tokens = 0
     window_t0 = time.perf_counter()
-    halted = None
+    halted = crashed = None
+    last_step = start_step
     rc = replay_counters()
     with use_device(dev), \
             (use_recorder(recorder) if recorder else nullcontext()), \
-            (use_collector(collector) if collector else nullcontext()):
-        for step in range(1, args.steps + 1):
+            (use_collector(collector) if collector else nullcontext()), \
+            (use_faults(injector) if injector else nullcontext()):
+        for step in range(start_step + 1, args.steps + 1):
             step_t0 = time.perf_counter()
             rc0 = rc.snapshot()
+            if injector is not None:
+                injector.begin_step(step)
+                if injector.fire("replica.crash", rank=0) is not None:
+                    crashed = f"replica crash at step {step}"
+                    break
             try:
                 lr = sched.lr(trainer.step_count + 1)
                 res = (engine.step(batch_fn(step - 1), lr=lr)
@@ -230,6 +294,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                     raise
                 halted = e.anomaly
                 break
+            last_step = step
+            if checkpointer is not None:
+                try:
+                    checkpointer.after_step(model, trainer, step=step)
+                except TornWrite as e:
+                    crashed = (f"torn checkpoint write at step {step} "
+                               f"({e.written}/{e.total} bytes)")
+                    break
             if metrics is not None:
                 metrics.observe_step(
                     step=step, loss=res.loss, num_tokens=res.num_tokens,
@@ -237,7 +309,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                     applied=res.applied, scaler=scaler,
                     arena=engine.arena if engine is not None else None,
                     replay=rc if engine is not None else None,
-                    replayed=rc.since(rc0).replays > 0)
+                    replayed=rc.since(rc0).replays > 0,
+                    faults=injector)
             window_loss += res.loss
             window_tokens += res.num_tokens
             if step % args.log_interval == 0 or step == args.steps:
@@ -268,8 +341,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.metrics_out:
         print(f"metrics written to {args.metrics_out} "
               f"({metrics.steps} steps)")
-    if args.save_dir:
-        save_checkpoint(model, trainer, args.save_dir)
+    if args.save_dir and crashed is None:
+        if store is not None:
+            store.save(model, trainer, step=last_step,
+                       extra={"loop_step": last_step})
+        else:
+            save_checkpoint(model, trainer, args.save_dir)
         print(f"checkpoint written to {args.save_dir}")
     if collector:
         if anomalies:
@@ -284,11 +361,18 @@ def main(argv: Optional[List[str]] = None) -> int:
               f"replays, {rc.invalidations} invalidations, "
               f"{rc.eager_fallbacks} eager fallbacks "
               f"({len(engine.programs)} cached programs)")
+    if injector is not None and injector.injections:
+        print(f"faults injected: {len(injector.injections)} "
+              f"(plan {plan.digest()})")
     if halted is not None:
         print(f"HALTED on anomaly: {halted}"
               + (f" (snapshot: {args.anomaly_dump})"
                  if args.anomaly_dump else ""))
         return 3
+    if crashed is not None:
+        print(f"CRASHED (injected): {crashed} — resume with "
+              f"'--resume auto'")
+        return 4
     return 0
 
 

@@ -51,13 +51,62 @@ class CheckpointedLayer:
         self._inputs = None
         return result
 
-    # convenience pass-throughs -------------------------------------------------
+    # Layer-surface pass-throughs ----------------------------------------------
+    # Audited against repro.layers.base.Layer so a checkpointed layer
+    # composes wherever a plain Layer does: parameter walks (trainers,
+    # serialization), the activation arena, the numerics observatory's
+    # taps, capture constants, and RNG snapshot/restore (which resume
+    # paths call on whole stacks).
 
     def parameters(self):
         return self.layer.parameters()
 
+    def named_parameters(self):
+        return self.layer.named_parameters()
+
+    def num_parameters(self) -> int:
+        return self.layer.num_parameters()
+
+    def zero_grad(self) -> None:
+        self.layer.zero_grad()
+
     def saved_nbytes(self) -> int:
         return self.layer.saved_nbytes()
+
+    def clear_saved(self) -> None:
+        self.layer.clear_saved()
+
+    def set_arena(self, arena) -> "CheckpointedLayer":
+        self.layer.set_arena(arena)
+        return self
+
+    @property
+    def arena(self):
+        return self.layer.arena
+
+    def tap(self, tag: str, x: np.ndarray) -> None:
+        self.layer.tap(tag, x)
+
+    def capture_constants(self):
+        return self.layer.capture_constants()
+
+    def rng_states(self) -> Dict[str, dict]:
+        return self.layer.rng_states()
+
+    def set_rng_states(self, states: Dict[str, dict]) -> None:
+        self.layer.set_rng_states(states)
+
+    @property
+    def name(self) -> str:
+        return self.layer.name
+
+    @property
+    def config(self):
+        return self.layer.config
+
+    @property
+    def training(self) -> bool:
+        return self.layer.training
 
     def train(self, mode: bool = True):
         self.layer.train(mode)

@@ -35,14 +35,19 @@ import numpy as np
 from ..backend.device import current_device
 from ..layers.base import Layer
 from ..obs.spans import span
+from ..resilience.faults import ReplicaCrash, current_injector
+from ..resilience.recovery import (CommRetryStats, RetryPolicy,
+                                   retry_collective)
 from ..sim.comm import (DDP_BUCKET_BYTES, GradBucket, allgather_seconds,
                         bucketed_allreduce_seconds,
                         compressed_allreduce_seconds,
                         compressed_ring_allreduce, deterministic_allreduce,
                         partition_buckets, reduce_scatter_seconds,
-                        ring_allgather, ring_allreduce, ring_reduce_scatter)
+                        ring_allgather, ring_allreduce, ring_allreduce_seconds,
+                        ring_reduce_scatter, shard_bounds)
 from ..sim.gpu_specs import GPUSpec
-from ..sim.timeline import BucketSchedule, overlap_schedule
+from ..sim.timeline import (BucketSchedule, overlap_schedule,
+                            with_extra_exposed)
 from .optimizers import OptimizerSpec
 from .trainer import TrainerBase, ZeRO1ShardedTrainer, make_trainer
 
@@ -56,13 +61,16 @@ class DataParallel:
                  compress_gradients: bool = False,
                  overlap_grad_sync: bool = False,
                  bucket_bytes: int = DDP_BUCKET_BYTES,
-                 zero1: bool = False):
+                 zero1: bool = False,
+                 retry_policy: Optional[RetryPolicy] = None):
         """``compress_gradients``: sync with the int8 error-feedback ring
         (DeepSpeed-style quantized gradient updates) instead of FP32.
         ``overlap_grad_sync``: bucket the flat gradient buffer and launch
         per-bucket all-reduces as backward produces them.  ``zero1``:
         shard the optimizer ZeRO-1 style (requires the "lightseq"
-        workspace trainer)."""
+        workspace trainer).  ``retry_policy``: bounded deterministic-
+        backoff retry for transient collective faults (armed only while a
+        fault injector is installed; default :class:`RetryPolicy`)."""
         if world_size < 1:
             raise ValueError("world_size must be >= 1")
         if compress_gradients and (overlap_grad_sync or zero1):
@@ -94,6 +102,13 @@ class DataParallel:
             [(p.name, p.size) for p in self.replicas[0].parameters()],
             itemsize=4, bucket_bytes=bucket_bytes)
         self._error_feedback: Optional[List[np.ndarray]] = None
+        # -- resilience plane (all no-ops unless a fault injector or a
+        #    drop_rank() call brings them into play) ------------------------
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.retry_stats = CommRetryStats()
+        self.step_no = 0                      # step *attempts*, fault scoping
+        self.straggler_delay_s = 0.0          # this step's injected delay
+        self.dropped_ranks: List[int] = []    # ranks lost to elastic drops
         self._check_replicas_identical()
 
     def _check_replicas_identical(self) -> None:
@@ -125,6 +140,31 @@ class DataParallel:
                     p.grad.dtype)
                 off += n
 
+    def _guarded(self, site: str, op: Callable[[], None],
+                 buffers: Sequence[np.ndarray]) -> None:
+        """Run an in-place collective behind the retry policy.
+
+        With no fault injector installed this is a direct call (no
+        snapshot cost).  Under injection, transient drops/bit-flips are
+        retried with pristine restored inputs and deterministic backoff
+        (:func:`repro.resilience.recovery.retry_collective`); exhausting
+        the budget raises :class:`CommRetryError`.
+        """
+        if current_injector() is None:
+            op()
+            return
+        retry_collective(op, buffers, policy=self.retry_policy,
+                         stats=self.retry_stats, site=site)
+
+    def _maybe_crash(self, stage: str) -> None:
+        """Consult the ``replica.crash`` fault site for every live rank."""
+        injector = current_injector()
+        if injector is None:
+            return
+        for rank in range(self.world_size):
+            if injector.fire("replica.crash", rank=rank, stage=stage):
+                raise ReplicaCrash(rank, self.step_no, stage)
+
     def sync_gradients(self) -> int:
         """Synchronise gradients across replicas (real data movement).
 
@@ -134,9 +174,12 @@ class DataParallel:
         reduce-scatter — each replica ends up with only its reduced shard
         valid.  Returns the number of bytes each replica contributed (for
         the alpha–beta sync-time model).  Recorded under the "sync" stage.
+        Injected transient faults are retried via :meth:`_guarded`; the
+        step's retry count/backoff ride on the span attrs.
         """
         dev = current_device()
-        with dev.stage_scope("sync"), span("comm/grad_sync"):
+        retries0 = self.retry_stats.retries
+        with dev.stage_scope("sync"), span("comm/grad_sync") as sp:
             flats = self._flat_grads()
             nbytes = flats[0].nbytes
             if self.world_size > 1:
@@ -144,26 +187,39 @@ class DataParallel:
                     if self._error_feedback is None:
                         self._error_feedback = [np.zeros_like(f)
                                                 for f in flats]
-                    compressed_ring_allreduce(
-                        flats, error_feedback=self._error_feedback)
+                    feedback = self._error_feedback
+                    self._guarded(
+                        "comm.allreduce",
+                        lambda: compressed_ring_allreduce(
+                            flats, error_feedback=feedback),
+                        list(flats) + list(feedback))
                     dev.record("allreduce_grads",
                                flats[0].size * self.world_size,
                                flats[0].size * self.world_size,
                                dtype_bytes=1)
                 elif self.zero1:
-                    ring_reduce_scatter(flats, average=True)
+                    self._guarded(
+                        "comm.reduce_scatter",
+                        lambda: ring_reduce_scatter(flats, average=True),
+                        flats)
                     dev.record("reduce_scatter_grads",
                                flats[0].size * self.world_size,
                                flats[0].size, dtype_bytes=4)
                 elif self.overlap_grad_sync:
                     for b in reversed(self.buckets):
-                        ring_allreduce([f[b.start:b.stop] for f in flats],
-                                       average=True)
+                        views = [f[b.start:b.stop] for f in flats]
+                        self._guarded(
+                            "comm.allreduce",
+                            lambda v=views: ring_allreduce(v, average=True),
+                            views)
                         dev.record("allreduce_grad_bucket",
                                    b.elems * self.world_size,
                                    b.elems * self.world_size, dtype_bytes=4)
                 else:
-                    ring_allreduce(flats, average=True)
+                    self._guarded(
+                        "comm.allreduce",
+                        lambda: ring_allreduce(flats, average=True),
+                        flats)
                     dev.record("allreduce_grads",
                                flats[0].size * self.world_size,
                                flats[0].size * self.world_size,
@@ -172,6 +228,11 @@ class DataParallel:
             else:
                 dev.record("allreduce_grads", flats[0].size, flats[0].size,
                            dtype_bytes=1 if self.compress_gradients else 4)
+            retried = self.retry_stats.retries - retries0
+            if sp is not None and retried:
+                sp.attrs["comm_retries"] = retried
+                sp.attrs["comm_retry_backoff_s"] = \
+                    self.retry_stats.step_backoff_s
         return nbytes
 
     def _allgather_params(self) -> None:
@@ -180,7 +241,8 @@ class DataParallel:
         dev = current_device()
         with dev.stage_scope("sync"), span("comm/allgather_params"):
             slabs = [t.workspace.params for t in self.trainers]
-            ring_allgather(slabs)
+            self._guarded("comm.allgather",
+                          lambda: ring_allgather(slabs), slabs)
             dev.record("allgather_params",
                        slabs[0].size, slabs[0].size * self.world_size,
                        dtype_bytes=slabs[0].dtype.itemsize)
@@ -224,12 +286,30 @@ class DataParallel:
         comm time is exposed.  ZeRO-1 prices the reduce-scatter phase (the
         parameter all-gather follows the update and cannot overlap with
         backward).
+
+        Fault recovery is priced in: an injected straggler delay shifts
+        every bucket launch (ring pace = slowest rank), and each comm
+        retry this step adds its deterministic backoff plus one full
+        re-issued collective as *exposed* time — retries run after
+        backward has already produced the gradients, so nothing hides
+        them.
         """
         fn = reduce_scatter_seconds if self.zero1 else None
-        return overlap_schedule(self.buckets, 4, backward_s,
-                                self.world_size, spec,
-                                overlap=self.overlap_grad_sync,
-                                comm_seconds_fn=fn)
+        sched = overlap_schedule(self.buckets, 4, backward_s,
+                                 self.world_size, spec,
+                                 overlap=self.overlap_grad_sync,
+                                 comm_seconds_fn=fn,
+                                 straggler_delay_s=self.straggler_delay_s)
+        if self.retry_stats.step_retries:
+            grad_bytes = sum(4 * p.size
+                             for p in self.replicas[0].parameters())
+            price = reduce_scatter_seconds if self.zero1 \
+                else ring_allreduce_seconds
+            reissue_s = price(grad_bytes, self.world_size, spec)
+            sched = with_extra_exposed(
+                sched, self.retry_stats.step_backoff_s
+                + self.retry_stats.step_retries * reissue_s)
+        return sched
 
     def optimizer_state_bytes(self) -> int:
         """Per-replica trainer-owned state (max across ranks — ZeRO-1
@@ -256,7 +336,17 @@ class DataParallel:
         dev = current_device()
         total_loss = 0.0
         total_tokens = 0
+        self.step_no += 1
+        self.straggler_delay_s = 0.0
+        self.retry_stats.begin_step()
+        injector = current_injector()
+        if injector is not None:
+            injector.begin_step(self.step_no)
+            delay = injector.fire("comm.straggler")
+            if delay is not None:
+                self.straggler_delay_s = delay.delay_s
         with span("dp/step"):
+            self._maybe_crash("forward")
             for trainer in self.trainers:
                 trainer.zero_grad()
             for rank, (model, shard) in enumerate(zip(self.replicas,
@@ -269,10 +359,13 @@ class DataParallel:
                     model.backward()
                 total_loss += loss
                 total_tokens += ntok
+            self._maybe_crash("backward")
+            self._maybe_crash("sync")
             self.sync_gradients()
             gs = (grad_scale_fn(total_tokens) if grad_scale_fn
                   else 1.0 / max(total_tokens, 1) * self.world_size)
             overflow = self._global_overflow() if self.zero1 else None
+            self._maybe_crash("update")
             with span("dp/update"):
                 for trainer in self.trainers:
                     trainer.step(lr=lr, grad_scale=gs,
@@ -340,6 +433,67 @@ class DataParallel:
         if self.zero1:
             self._allgather_params()
         return total_loss, total_tokens
+
+    # -- elastic degradation (permanent replica loss) ----------------------------
+
+    def drop_rank(self, rank: int, *,
+                  recovered_m: Optional[np.ndarray] = None,
+                  recovered_v: Optional[np.ndarray] = None) -> None:
+        """Shrink the world by one permanently-lost replica.
+
+        The dead rank's model replica and trainer are discarded;
+        survivors are renumbered ``0..N-2``.  Buckets are unchanged (the
+        parameter inventory is the same), so the bucketed/overlapped sync
+        schedules simply re-price for the smaller ring.
+
+        ZeRO-1 needs real re-partitioning: each survivor still holds only
+        its *old* shard of the Adam ``m``/``v`` state, and the dead
+        rank's shard is genuinely gone (it lived only in that replica's
+        memory).  The surviving shards are reassembled into full-length
+        buffers, the missing region is filled from
+        ``recovered_m``/``recovered_v`` (full-length arrays, e.g. from an
+        unsharded checkpoint) or zeros (a cold restart of those moments —
+        documented degradation, the price of losing unreplicated state),
+        and every survivor re-shards for world ``N-1`` via the same
+        :func:`shard_bounds` chunking the ring reduce-scatter uses.
+        Survivors' parameters are untouched — they were in sync before
+        the loss and remain so, which the elastic golden test asserts.
+
+        The int8 error-feedback residuals (``compress_gradients``) are
+        per-replica state of the old membership and are reset.
+        """
+        if self.world_size <= 1:
+            raise ValueError("cannot drop the last replica")
+        if not 0 <= rank < self.world_size:
+            raise ValueError(f"rank {rank} out of range for world "
+                             f"{self.world_size}")
+        new_world = self.world_size - 1
+        with span("dp/drop_rank", {"rank": rank, "world_size": new_world}):
+            dead = self.trainers[rank]
+            del self.replicas[rank]
+            del self.trainers[rank]
+            self._error_feedback = None
+            if self.zero1:
+                n = dead.workspace.total_elems
+                full_m = np.zeros(n, dtype=np.float32)
+                full_v = np.zeros(n, dtype=np.float32)
+                if recovered_m is not None:
+                    full_m[...] = np.asarray(recovered_m, dtype=np.float32)
+                if recovered_v is not None:
+                    full_v[...] = np.asarray(recovered_v, dtype=np.float32)
+                for t in self.trainers:       # survivors: old shards
+                    lo, hi = t.shard
+                    full_m[lo:hi] = t.m
+                    full_v[lo:hi] = t.v
+                for new_rank, t in enumerate(self.trainers):
+                    t.rank = new_rank
+                    t.world_size = new_world
+                    t.shard = shard_bounds(n, new_world, new_rank)
+                    lo, hi = t.shard
+                    t.m = full_m[lo:hi].copy()
+                    t.v = full_v[lo:hi].copy()
+            self.world_size = new_world
+            self.dropped_ranks.append(rank)
 
     def parameters_in_sync(self, atol: float = 0.0) -> bool:
         """True if every replica holds identical parameters."""

@@ -89,9 +89,16 @@ class EpochStats:
 
 def train_epoch(model: Layer, trainer: TrainerBase,
                 batches: Iterable[Sequence], *,
-                lr_fn: Optional[Callable[[int], float]] = None
+                lr_fn: Optional[Callable[[int], float]] = None,
+                checkpointer: Optional[object] = None
                 ) -> EpochStats:
-    """Run every batch once; ``lr_fn(step)`` supplies the schedule."""
+    """Run every batch once; ``lr_fn(step)`` supplies the schedule.
+
+    ``checkpointer`` (a
+    :class:`~repro.resilience.checkpoint.PeriodicCheckpointer`) saves a
+    crash-safe checkpoint every N applied steps, so a long epoch killed
+    mid-run resumes from the last committed checkpoint instead of step 0.
+    """
     stats = EpochStats()
     for batch in batches:
         lr = lr_fn(trainer.step_count + 1) if lr_fn else None
@@ -100,6 +107,8 @@ def train_epoch(model: Layer, trainer: TrainerBase,
         stats.tokens += res.num_tokens
         if not res.applied:
             stats.skipped += 1
+        if checkpointer is not None:
+            checkpointer.after_step(model, trainer)
     return stats
 
 

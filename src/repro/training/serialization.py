@@ -12,13 +12,21 @@ state.  This module serialises:
 
 Works for every trainer kind; the fused trainer's workspace is rebuilt on
 load and re-linked, so symbolic tensor links survive a round trip.
+
+Every payload is stamped with :data:`SERIALIZATION_SCHEMA` in its
+``__meta`` entry; the loaders check it *first* and raise a clear
+``ValueError`` on a stale or foreign checkpoint — previously a pre-schema
+file surfaced as an opaque ``KeyError`` deep in the restore.  Paths may
+be file objects (``io.BytesIO``), which the crash-safe
+:class:`~repro.resilience.checkpoint.CheckpointStore` uses to serialise
+fully in memory before its atomic write.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import BinaryIO, Dict, Optional, Union
 
 import numpy as np
 
@@ -27,12 +35,43 @@ from ..precision.loss_scaler import DynamicLossScaler, StaticLossScaler
 from .trainer import (ApexLikeTrainer, LSFusedTrainer, NaiveMPTrainer,
                       TrainerBase)
 
-_PathLike = Union[str, Path]
+#: payload layout version shared by model and trainer files (bump on
+#: incompatible change; v1 was the unstamped pre-resilience layout).
+SERIALIZATION_SCHEMA = 2
+
+_PathLike = Union[str, Path, BinaryIO]
+
+
+def _meta_blob(payload: str) -> np.ndarray:
+    meta = {"schema": SERIALIZATION_SCHEMA, "payload": payload}
+    return np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8)
+
+
+def _check_meta(data, what: str, payload: str) -> dict:
+    """Validate a loaded npz's ``__meta`` stamp; return the parsed meta."""
+    if "__meta" not in data.files:
+        raise ValueError(
+            f"{what}: no __meta stamp — not a repro checkpoint, or one "
+            f"saved by a pre-v{SERIALIZATION_SCHEMA} version; re-save it "
+            f"with the current code")
+    meta = json.loads(bytes(data["__meta"]).decode("utf-8"))
+    schema = meta.get("schema")
+    if schema != SERIALIZATION_SCHEMA:
+        raise ValueError(
+            f"{what}: checkpoint schema {schema!r} is not the supported "
+            f"v{SERIALIZATION_SCHEMA}; re-save with the current code")
+    saved_payload = meta.get("payload", payload)
+    if saved_payload != payload:
+        raise ValueError(
+            f"{what}: this is a {saved_payload!r} checkpoint, expected "
+            f"{payload!r} (model/trainer files swapped?)")
+    return meta
 
 
 def save_model(model: Layer, path: _PathLike) -> None:
     """Write all parameters to ``path`` (.npz), keyed by qualified name."""
     arrays = {p.name: np.asarray(p.data) for p in model.parameters()}
+    arrays["__meta"] = _meta_blob("model")
     np.savez(path, **arrays)
 
 
@@ -43,7 +82,8 @@ def load_model(model: Layer, path: _PathLike, *, strict: bool = True) -> None:
     intersecting names are loaded (fine-tuning from a partial checkpoint).
     """
     with np.load(path) as data:
-        saved = set(data.files)
+        _check_meta(data, "load_model", "model")
+        saved = set(data.files) - {"__meta"}
         own = {p.name: p for p in model.parameters()}
         if strict:
             missing = set(own) - saved
@@ -91,7 +131,8 @@ def save_trainer(trainer: TrainerBase, path: _PathLike) -> None:
                 arrays[f"__master/{p.name}"] = trainer.masters[i]
     else:
         raise TypeError(f"unknown trainer type {type(trainer)}")
-    meta = {"step_count": trainer.step_count,
+    meta = {"schema": SERIALIZATION_SCHEMA, "payload": "trainer",
+            "step_count": trainer.step_count,
             "skipped_steps": trainer.skipped_steps,
             "kind": type(trainer).__name__,
             "scaler": _scaler_state(trainer.scaler)}
@@ -103,7 +144,7 @@ def save_trainer(trainer: TrainerBase, path: _PathLike) -> None:
 def load_trainer(trainer: TrainerBase, path: _PathLike) -> None:
     """Restore optimizer state saved by :func:`save_trainer` in place."""
     with np.load(path) as data:
-        meta = json.loads(bytes(data["__meta"]).decode("utf-8"))
+        meta = _check_meta(data, "load_trainer", "trainer")
         if meta["kind"] != type(trainer).__name__:
             raise ValueError(
                 f"trainer kind mismatch: checkpoint has {meta['kind']}, "

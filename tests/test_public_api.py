@@ -43,6 +43,7 @@ def test_subpackage_imports():
     import repro.models
     import repro.obs
     import repro.precision
+    import repro.resilience
     import repro.sim
     import repro.tools
     import repro.training

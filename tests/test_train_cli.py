@@ -151,3 +151,77 @@ def test_attn_impl_flag(tmp_path, capsys):
 def test_attn_impl_rejects_unknown(capsys):
     with pytest.raises(SystemExit):
         build_parser().parse_args(["--attn-impl", "quadratic"])
+
+
+class TestResilienceCli:
+    def _plan(self, tmp_path, faults):
+        import json
+        p = tmp_path / "plan.json"
+        p.write_text(json.dumps({"seed": 3, "faults": faults}))
+        return str(p)
+
+    def test_checkpoint_every_requires_save_dir(self, capsys):
+        assert main(["--task", "mt", "--steps", "1",
+                     "--checkpoint-every", "2"]) == 2
+
+    def test_injected_crash_exits_4_and_resume_auto_is_bit_identical(
+            self, tmp_path, capsys):
+        """The acceptance path: crash at step 4 via a fault plan, restart
+        with --resume auto, final crash-safe checkpoint bitwise equals an
+        uninterrupted run's."""
+        import numpy as np
+        base = ["--task", "mt", "--steps", "6", "--max-tokens", "128",
+                "--fp16", "--log-interval", "6", "--checkpoint-every", "2"]
+        clean_d, crash_d = str(tmp_path / "clean"), str(tmp_path / "crash")
+        assert main(base + ["--save-dir", clean_d]) == 0
+        plan = self._plan(tmp_path, [
+            {"site": "replica.crash", "kind": "crash", "step": 4}])
+        assert main(base + ["--save-dir", crash_d,
+                            "--fault-plan", plan]) == 4
+        out = capsys.readouterr().out
+        assert "CRASHED (injected)" in out and "step 4" in out
+        assert main(base + ["--save-dir", crash_d, "--resume", "auto"]) == 0
+        assert "resumed from" in capsys.readouterr().out
+        for name in ("step-00000006.model.npz", "step-00000006.trainer.npz"):
+            with np.load(f"{clean_d}/{name}") as a, \
+                    np.load(f"{crash_d}/{name}") as b:
+                assert set(a.files) == set(b.files)
+                for k in a.files:
+                    np.testing.assert_array_equal(a[k], b[k], err_msg=k)
+
+    def test_torn_checkpoint_write_is_survivable(self, tmp_path, capsys):
+        """A checkpoint torn mid-write exits 4; --resume auto falls back
+        to the previous good checkpoint and finishes cleanly."""
+        d = str(tmp_path / "ck")
+        base = ["--task", "mt", "--steps", "6", "--max-tokens", "128",
+                "--log-interval", "6", "--checkpoint-every", "2",
+                "--save-dir", d]
+        plan = self._plan(tmp_path, [
+            {"site": "checkpoint.write", "kind": "torn", "after": 3}])
+        assert main(base + ["--fault-plan", plan]) == 4
+        assert "torn checkpoint write" in capsys.readouterr().out
+        assert main(base + ["--resume", "auto"]) == 0
+        out = capsys.readouterr().out
+        assert "resumed from" in out and "checkpoint written" in out
+
+    def test_fault_plan_digest_in_provenance_header(self, tmp_path, capsys):
+        import json
+        metrics = tmp_path / "m.jsonl"
+        plan = self._plan(tmp_path, [
+            {"site": "replica.crash", "kind": "crash", "step": 999}])
+        rc = main(["--task", "mt", "--steps", "2", "--max-tokens", "128",
+                   "--log-interval", "2", "--fault-plan", plan,
+                   "--fault-seed", "11", "--metrics-out", str(metrics)])
+        assert rc == 0                                  # plan never fires
+        header = json.loads(metrics.read_text().splitlines()[0])
+        assert header["event"] == "header"
+        assert header["fault_seed"] == 11
+        assert len(header["fault_plan_digest"]) == 12
+
+    def test_resume_auto_with_empty_dir_starts_fresh(self, tmp_path, capsys):
+        d = str(tmp_path / "empty")
+        rc = main(["--task", "mt", "--steps", "2", "--max-tokens", "128",
+                   "--log-interval", "2", "--save-dir", d,
+                   "--checkpoint-every", "2", "--resume", "auto"])
+        assert rc == 0
+        assert "starting fresh" in capsys.readouterr().out

@@ -1,0 +1,219 @@
+"""Golden resilience guarantees: bit-identical resume, elastic recovery,
+and bitwise-transparent comm-fault retries.
+
+The acceptance bar of the fault-tolerance work: a run killed at step k
+and resumed from the last crash-safe checkpoint must finish with
+parameters **bitwise equal** to an uninterrupted run (dropout and loss
+scaling on); a world-4 data-parallel run losing a replica must degrade
+to world-3 with survivors still holding identical parameters; and a
+transient collective fault recovered by the retry policy must leave the
+trajectory bitwise unchanged from an unfaulted run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import get_config
+from repro.models import TransformerModel
+from repro.precision import DynamicLossScaler
+from repro.resilience import (CheckpointStore, CommRetryError, FaultInjector,
+                              FaultPlan, FaultSpec, PeriodicCheckpointer,
+                              ReplicaCrash, RetryPolicy, run_elastic_step,
+                              use_faults)
+from repro.sim import GPUS
+from repro.training import OptimizerSpec, make_trainer, train_step
+from repro.training.data_parallel import DataParallel, shard_batch
+
+
+@pytest.fixture
+def cfg():
+    # dropout ON: resume must restore the RNG streams, not just weights
+    return get_config("transformer-base", max_batch_tokens=256,
+                      max_seq_len=24, hidden_dim=32, nhead=4, ffn_dim=64,
+                      vocab_size=80, num_encoder_layers=1,
+                      num_decoder_layers=1, fp16=True,
+                      dropout=0.1, attn_dropout=0.1)
+
+
+def _batch(seed, b=4, l=8, v=80):
+    rng = np.random.default_rng(seed)
+    return (rng.integers(4, v, (b, l)), rng.integers(4, v, (b, l)),
+            rng.integers(4, v, (b, l)))
+
+
+def _pair(cfg, seed=5):
+    model = TransformerModel(cfg, seed=seed)
+    trainer = make_trainer("lightseq", model, OptimizerSpec(lr=1e-3),
+                           DynamicLossScaler(init_scale=64.0))
+    return model, trainer
+
+
+class TestKillResumeGolden:
+    def test_resume_is_bit_identical(self, cfg, tmp_path):
+        """Kill at step 5, resume from the step-4 checkpoint, finish:
+        final parameters, moments, and scaler bitwise match a run that
+        was never interrupted."""
+        steps, kill_at, every = 8, 5, 2
+
+        ref_model, ref_tr = _pair(cfg)
+        for s in range(1, steps + 1):
+            train_step(ref_model, ref_tr, _batch(s))
+
+        model, trainer = _pair(cfg)
+        store = CheckpointStore(tmp_path)
+        ck = PeriodicCheckpointer(store, every=every)
+        for s in range(1, kill_at):
+            train_step(model, trainer, _batch(s))
+            ck.after_step(model, trainer, step=s)
+        del model, trainer                              # the "kill"
+
+        model2, trainer2 = _pair(cfg, seed=777)         # wrong init on purpose
+        manifest = store.resume_auto(model2, trainer2)
+        start = int(manifest["extra"]["loop_step"])
+        assert start == 4                               # newest committed
+        for s in range(start + 1, steps + 1):
+            train_step(model2, trainer2, _batch(s))
+
+        for pr, pz in zip(ref_model.parameters(), model2.parameters()):
+            np.testing.assert_array_equal(
+                np.asarray(pr.data), np.asarray(pz.data), err_msg=pr.name)
+        np.testing.assert_array_equal(ref_tr.m, trainer2.m)
+        np.testing.assert_array_equal(ref_tr.v, trainer2.v)
+        assert ref_tr.scaler.state_dict() == trainer2.scaler.state_dict()
+        assert ref_model.rng_states() == model2.rng_states()
+
+
+class TestElasticDegradation:
+    @pytest.mark.parametrize("zero1", [False, True])
+    def test_world4_survives_replica_loss(self, cfg, zero1):
+        plain = cfg.with_overrides(fp16=False, dropout=0.0,
+                                   attn_dropout=0.0)
+        dp = DataParallel(lambda: TransformerModel(plain, seed=3), 4,
+                          "lightseq", OptimizerSpec(lr=1e-3), zero1=zero1)
+        plan = FaultPlan([FaultSpec("replica.crash", "crash", step=2,
+                                    rank=2, stage="backward")])
+        with use_faults(FaultInjector(plan)):
+            for s in range(1, 5):
+                loss, ntok = run_elastic_step(dp, _batch(s, b=8))
+                assert np.isfinite(loss) and ntok > 0
+        assert dp.world_size == 3
+        assert dp.dropped_ranks == [2]
+        assert len(dp.replicas) == len(dp.trainers) == 3
+        assert dp.parameters_in_sync()
+        if zero1:
+            for rank, t in enumerate(dp.trainers):
+                assert (t.rank, t.world_size) == (rank, 3)
+
+    def test_zero1_reshard_with_recovered_moments(self, cfg):
+        """Supplying full recovered m/v fills the dead rank's lost shard
+        exactly; survivor shards win over the recovered copy."""
+        plain = cfg.with_overrides(fp16=False, dropout=0.0,
+                                   attn_dropout=0.0)
+        dp = DataParallel(lambda: TransformerModel(plain, seed=3), 3,
+                          "lightseq", OptimizerSpec(lr=1e-3), zero1=True)
+        for s in range(2):
+            dp.train_step(shard_batch(_batch(s, b=6), 3))
+        n = dp.trainers[0].workspace.total_elems
+        oracle_m = np.zeros(n, dtype=np.float32)
+        oracle_v = np.zeros(n, dtype=np.float32)
+        for t in dp.trainers:
+            lo, hi = t.shard
+            oracle_m[lo:hi] = t.m
+            oracle_v[lo:hi] = t.v
+        dp.drop_rank(1, recovered_m=oracle_m, recovered_v=oracle_v)
+        for t in dp.trainers:
+            lo, hi = t.shard
+            np.testing.assert_array_equal(t.m, oracle_m[lo:hi])
+            np.testing.assert_array_equal(t.v, oracle_v[lo:hi])
+
+    def test_last_replica_crash_reraises(self, cfg):
+        plain = cfg.with_overrides(fp16=False, dropout=0.0,
+                                   attn_dropout=0.0)
+        dp = DataParallel(lambda: TransformerModel(plain, seed=3), 1,
+                          "lightseq", OptimizerSpec(lr=1e-3))
+        plan = FaultPlan([FaultSpec("replica.crash", "crash", rank=0)])
+        with use_faults(FaultInjector(plan)):
+            with pytest.raises(ReplicaCrash):
+                run_elastic_step(dp, _batch(0, b=4))
+
+
+class TestTransparentRetry:
+    @pytest.mark.parametrize("kind", ["drop", "bitflip"])
+    def test_recovered_fault_is_bitwise_transparent(self, cfg, kind):
+        plain = cfg.with_overrides(fp16=False, dropout=0.0,
+                                   attn_dropout=0.0)
+
+        def run(plan):
+            dp = DataParallel(lambda: TransformerModel(plain, seed=3), 2,
+                              "lightseq", OptimizerSpec(lr=1e-3))
+            ctx = use_faults(FaultInjector(plan)) if plan else None
+            if ctx:
+                with ctx:
+                    for s in range(3):
+                        dp.train_step(shard_batch(_batch(s, b=4), 2))
+            else:
+                for s in range(3):
+                    dp.train_step(shard_batch(_batch(s, b=4), 2))
+            return dp
+
+        clean = run(None)
+        faulted = run(FaultPlan(
+            [FaultSpec("comm.allreduce", kind, step=2)], seed=9))
+        assert faulted.retry_stats.retries == 1
+        assert faulted.retry_stats.by_site == {"comm.allreduce": 1}
+        for pa, pb in zip(clean.replicas[0].parameters(),
+                          faulted.replicas[0].parameters()):
+            np.testing.assert_array_equal(
+                np.asarray(pa.data), np.asarray(pb.data), err_msg=pa.name)
+
+    def test_retry_budget_exhaustion_raises(self, cfg):
+        plain = cfg.with_overrides(fp16=False, dropout=0.0,
+                                   attn_dropout=0.0)
+        dp = DataParallel(lambda: TransformerModel(plain, seed=3), 2,
+                          "lightseq", OptimizerSpec(lr=1e-3),
+                          retry_policy=RetryPolicy(max_retries=2))
+        plan = FaultPlan([FaultSpec("comm.allreduce", "drop", count=99)])
+        with use_faults(FaultInjector(plan)):
+            with pytest.raises(CommRetryError, match="budget"):
+                dp.train_step(shard_batch(_batch(0, b=4), 2))
+        assert dp.retry_stats.exhausted == 1
+
+
+class TestFaultPricing:
+    def test_straggler_delay_surfaces_as_exposed_comm(self, cfg):
+        plain = cfg.with_overrides(fp16=False, dropout=0.0,
+                                   attn_dropout=0.0)
+        spec = GPUS["V100"]
+
+        def run(plan):
+            dp = DataParallel(lambda: TransformerModel(plain, seed=3), 2,
+                              "lightseq", OptimizerSpec(lr=1e-3),
+                              overlap_grad_sync=True)
+            if plan:
+                with use_faults(FaultInjector(plan)):
+                    dp.train_step(shard_batch(_batch(0, b=4), 2))
+            else:
+                dp.train_step(shard_batch(_batch(0, b=4), 2))
+            return dp.sync_timeline(spec, backward_s=5e-3)
+
+        base = run(None)
+        delayed = run(FaultPlan(
+            [FaultSpec("comm.straggler", "delay", delay_s=0.01)]))
+        assert delayed.exposed_s >= base.exposed_s + 0.01 - 1e-9
+        assert delayed.comm_total_s == base.comm_total_s
+
+    def test_retries_priced_as_exposed_time(self, cfg):
+        plain = cfg.with_overrides(fp16=False, dropout=0.0,
+                                   attn_dropout=0.0)
+        spec = GPUS["V100"]
+        dp = DataParallel(lambda: TransformerModel(plain, seed=3), 2,
+                          "lightseq", OptimizerSpec(lr=1e-3))
+        clean_sched = dp.sync_timeline(spec, backward_s=5e-3)
+        plan = FaultPlan([FaultSpec("comm.allreduce", "drop")])
+        with use_faults(FaultInjector(plan)):
+            dp.train_step(shard_batch(_batch(0, b=4), 2))
+        retried_sched = dp.sync_timeline(spec, backward_s=5e-3)
+        backoff = dp.retry_policy.backoff_s(0)
+        assert dp.retry_stats.step_retries == 1
+        assert retried_sched.exposed_s > clean_sched.exposed_s + backoff - 1e-9
+        assert retried_sched.comm_total_s > clean_sched.comm_total_s

@@ -57,7 +57,8 @@ class TestModelRoundTrip:
         a = TransformerModel(cfg.with_overrides(fp16=True), seed=1)
         save_model(a, tmp_path / "m.npz")
         with np.load(tmp_path / "m.npz") as data:
-            assert all(data[k].dtype == np.float16 for k in data.files)
+            assert all(data[k].dtype == np.float16
+                       for k in data.files if k != "__meta")
 
 
 @pytest.mark.parametrize("kind", ["naive", "apex", "lightseq"])
@@ -127,3 +128,48 @@ class TestTrainerState:
         l_ref, _ = m.forward(*_batch(42))
         l_new, _ = m2.forward(*_batch(42))
         assert l_ref == pytest.approx(l_new, rel=1e-5)
+
+
+class TestSchemaStamp:
+    """Every payload carries a schema stamp; loaders check it first."""
+
+    def test_unstamped_file_rejected_clearly(self, cfg, tmp_path):
+        m = TransformerModel(cfg, seed=1)
+        # simulate a pre-schema checkpoint: raw arrays, no __meta
+        np.savez(tmp_path / "old.npz",
+                 **{p.name: np.asarray(p.data) for p in m.parameters()})
+        with pytest.raises(ValueError, match="no __meta stamp"):
+            load_model(m, tmp_path / "old.npz")
+
+    def test_wrong_schema_version_rejected(self, cfg, tmp_path):
+        import json
+        m = TransformerModel(cfg, seed=1)
+        meta = np.frombuffer(
+            json.dumps({"schema": 99, "payload": "model"}).encode(),
+            dtype=np.uint8)
+        np.savez(tmp_path / "future.npz", __meta=meta,
+                 **{p.name: np.asarray(p.data) for p in m.parameters()})
+        with pytest.raises(ValueError, match="schema 99"):
+            load_model(m, tmp_path / "future.npz")
+
+    def test_swapped_payloads_named_in_error(self, cfg, tmp_path):
+        m = TransformerModel(cfg, seed=1)
+        tr = make_trainer("lightseq", m, OptimizerSpec())
+        save_model(m, tmp_path / "m.npz")
+        save_trainer(tr, tmp_path / "t.npz")
+        with pytest.raises(ValueError, match="'trainer' checkpoint"):
+            load_model(m, tmp_path / "t.npz")
+        with pytest.raises(ValueError, match="'model' checkpoint"):
+            load_trainer(tr, tmp_path / "m.npz")
+
+    def test_file_objects_round_trip(self, cfg, tmp_path):
+        import io
+        m = TransformerModel(cfg, seed=1)
+        tr = make_trainer("lightseq", m, OptimizerSpec())
+        buf = io.BytesIO()
+        save_model(m, buf)
+        buf.seek(0)
+        m2 = TransformerModel(cfg, seed=2)
+        load_model(m2, buf)
+        for pa, pb in zip(m.parameters(), m2.parameters()):
+            np.testing.assert_array_equal(pa.data, pb.data)
