@@ -199,6 +199,27 @@ def by_kernel(trace: Iterable[KernelLaunch]) -> Dict[str, KernelStats]:
     return dict(out)
 
 
+def by_family(trace: Iterable[KernelLaunch]) -> Dict[str, KernelStats]:
+    """Group a trace by cost-model kernel family (gemm, softmax, ...).
+
+    The grouping matches the roofline/critical-path attribution in
+    :mod:`repro.obs.roofline`: the family comes from
+    :func:`repro.sim.costmodel.kernel_family`, with ``is_gemm`` launches
+    whose name patterns don't say otherwise promoted to ``gemm`` so
+    matmul traffic never hides under ``elementwise``.
+    """
+    # imported lazily: sim.costmodel imports backend.device, and an eager
+    # import here would make backend <-> sim import order load-bearing
+    from ..sim.costmodel import kernel_family
+    out: Dict[str, KernelStats] = defaultdict(KernelStats)
+    for k in trace:
+        fam = kernel_family(k.name)
+        if k.is_gemm and fam == "elementwise":
+            fam = "gemm"
+        out[fam].add(k)
+    return dict(out)
+
+
 def split_gemm(trace: Iterable[KernelLaunch]) -> Dict[str, KernelStats]:
     """Split a trace into GEMM vs non-GEMM aggregates.
 

@@ -47,6 +47,9 @@ class ExperimentResult:
     #: optional counters measured by the experiment itself; merged with
     #: (and overridden by) the caller-supplied counters in to_run_record.
     counters: Optional[Dict[str, float]] = None
+    #: optional ``repro.obs.profile/v1`` document (roofline attribution,
+    #: critical path, what-if projections) embedded in the run record.
+    profile: Optional[Dict[str, Any]] = None
 
     def claim(self, description: str, holds: bool, detail: str = "") -> None:
         self.claims.append(ShapeClaim(description, bool(holds), detail))
@@ -111,6 +114,7 @@ class ExperimentResult:
             stage_seconds=self.stage_seconds,
             metrics=self.metrics,
             config=cfg or None,
+            profile=self.profile,
             notes=self.notes or self.name,
         )
 

@@ -25,8 +25,17 @@ instead of ad-hoc printouts:
   observatory: a sampling per-layer tensor-health collector (grad norms,
   FP16 saturation, update ratios, activation taps), a pluggable anomaly
   engine, and the ``python -m repro.obs.health`` triage CLI.
-* :mod:`~repro.obs.provenance` — git SHA / config hash stamps making
-  two telemetry streams comparable across commits.
+* :mod:`~repro.obs.provenance` — git SHA / config hash / history
+  order-key stamps making telemetry streams comparable across commits.
+* :mod:`~repro.obs.roofline` / :mod:`~repro.obs.critpath` — the
+  performance observatory: per-kernel compute- vs memory-bound roofline
+  attribution, the step's dependency-DAG critical path, and what-if
+  re-costing ("comm is free", "attn_impl=tiled", "world=16", "gpu=H100"),
+  surfaced by ``python -m repro.obs.profile`` (and ``repro.train
+  --profile-out``).
+* :mod:`~repro.obs.trajectory` — ``python -m repro.obs.trajectory DIR``
+  orders a directory of run records by commit history and applies
+  budget-based regression detection across the whole series.
 
 With no recorder installed every hook is a near-free no-op, so the
 instrumentation can stay permanently threaded through the hot paths.
@@ -37,18 +46,26 @@ from .metrics import (METRICS_SCHEMA, MetricsRecorder, StepMetrics,
 from .numerics import (NUMERICS_SCHEMA, NumericsCollector, StepNumerics,
                        TensorStats, current_collector, saturation_histogram,
                        tap_activation, tensor_stats, use_collector)
-from .perfetto import (anomaly_events, kernel_events, perfetto_trace,
-                       schedule_events, span_events, write_trace)
-from .provenance import config_hash, git_sha, provenance
+from .critpath import (CriticalPath, Projection, StepInputs,
+                       attribute_critical_path, build_step_dag,
+                       project_timeline, tiled_attention_trace, whatif)
+from .perfetto import (anomaly_events, kernel_events, metric_counter_events,
+                       perfetto_trace, read_trace, roofline_counter_events,
+                       schedule_events, span_events, trace_kernels,
+                       write_trace)
+from .provenance import config_hash, git_sha, order_key, provenance
+from .roofline import (LaunchRoofline, RooflineReport, analyze_launch,
+                       roofline_report)
 from .runrecord import (RUN_RECORD_SCHEMA, bench_record_path,
-                        load_run_record, make_run_record, write_run_record)
+                        load_run_record, make_run_record, record_order_key,
+                        write_run_record)
 from .spans import Span, SpanRecorder, current_recorder, span, use_recorder
 
 _LAZY = {
-    # lazy: `python -m repro.obs.summarize` / `.health` re-execute the
-    # module as __main__, and an eager import here would leave a second
-    # copy in sys.modules (runpy prints a RuntimeWarning about exactly
-    # that).
+    # lazy: `python -m repro.obs.summarize` / `.health` / `.trajectory` /
+    # `.profile` re-execute the module as __main__, and an eager import
+    # here would leave a second copy in sys.modules (runpy prints a
+    # RuntimeWarning about exactly that).
     "summarize_run_records": ("summarize", "summarize_run_records"),
     "Anomaly": ("health", "Anomaly"),
     "AnomalyEngine": ("health", "AnomalyEngine"),
@@ -56,6 +73,9 @@ _LAZY = {
     "HealthReport": ("health", "HealthReport"),
     "analyze_rows": ("health", "analyze_rows"),
     "default_detectors": ("health", "default_detectors"),
+    "Trajectory": ("trajectory", "Trajectory"),
+    "load_trajectory": ("trajectory", "load_trajectory"),
+    "profile_report": ("profile", "profile_report"),
 }
 
 
@@ -77,10 +97,15 @@ __all__ = [
     "saturation_histogram",
     "Anomaly", "AnomalyEngine", "AnomalyHalted", "HealthReport",
     "analyze_rows", "default_detectors",
-    "provenance", "git_sha", "config_hash",
-    "anomaly_events", "kernel_events", "perfetto_trace", "schedule_events",
-    "span_events", "write_trace",
+    "provenance", "git_sha", "config_hash", "order_key",
+    "anomaly_events", "kernel_events", "metric_counter_events",
+    "perfetto_trace", "read_trace", "roofline_counter_events",
+    "schedule_events", "span_events", "trace_kernels", "write_trace",
     "RUN_RECORD_SCHEMA", "bench_record_path", "load_run_record",
-    "make_run_record", "write_run_record",
+    "make_run_record", "record_order_key", "write_run_record",
     "summarize_run_records",
+    "LaunchRoofline", "RooflineReport", "analyze_launch", "roofline_report",
+    "CriticalPath", "Projection", "StepInputs", "attribute_critical_path",
+    "build_step_dag", "project_timeline", "tiled_attention_trace", "whatif",
+    "Trajectory", "load_trajectory", "profile_report",
 ]

@@ -27,6 +27,7 @@ from ..backend.device import KernelLaunch
 from ..sim.costmodel import kernel_time
 from ..sim.gpu_specs import GPUSpec
 from ..sim.timeline import BucketSchedule
+from .roofline import analyze_launch
 from .spans import Span
 
 #: trace_event timestamps are microseconds.
@@ -124,15 +125,86 @@ def kernel_events(trace: Sequence[KernelLaunch], spec: GPUSpec, *,
             open_group = [k.stage, tid, start, end]
         else:
             open_group[3] = end
+        # elems_read/elems_written make kernel slices *round-trippable*:
+        # read_trace() rebuilds the exact KernelLaunch list from them,
+        # which is how the profile CLI re-analyzes a saved trace.
         events.append(_event(k.name, "kernel", start, dt, pid, tid, args={
             "stage": k.stage, "bytes": k.bytes_moved, "flops": k.flops,
             "gemm": k.is_gemm, "dtype_bytes": k.dtype_bytes, "lib": k.lib,
+            "elems_read": k.elems_read, "elems_written": k.elems_written,
         }))
     close_group()
     events.append(_process_meta(pid, f"sim GPU ({spec.name})"))
     events.append(_thread_meta(pid, COMPUTE_TID, "compute stream"))
     if saw_comm:
         events.append(_thread_meta(pid, COMM_TID, "comm stream"))
+    return events
+
+
+def _counter(name: str, ts_s: float, value: float, pid: int,
+             tid: int = 0) -> Dict[str, object]:
+    """A Perfetto "C" (counter) sample: the UI draws these as tracks."""
+    return {"name": name, "cat": "counter", "ph": "C", "ts": ts_s * _US,
+            "pid": pid, "tid": tid, "args": {"value": value}}
+
+
+def roofline_counter_events(trace: Sequence[KernelLaunch], spec: GPUSpec, *,
+                            pid: int = SIM_PID, offset_s: float = 0.0
+                            ) -> List[Dict[str, object]]:
+    """Roofline counter tracks aligned with :func:`kernel_events`.
+
+    Three tracks sampled at every kernel boundary on the same simulated
+    clock the kernel slices use: arithmetic intensity (FLOP/byte),
+    achieved-vs-peak fraction of the binding resource, and the binding
+    resource itself (0 = memory, 1 = compute, 2 = launch) — the
+    Fig.-17-style utilization story lined up under the kernels causing it.
+    """
+    events: List[Dict[str, object]] = []
+    bound_code = {"memory": 0, "compute": 1, "launch": 2}
+    t_comp = t_comm = offset_s
+    for k in trace:
+        r = analyze_launch(k, spec)
+        if k.stage == "sync":
+            start = max(t_comm, t_comp)
+            t_comm = start + r.time_s
+        else:
+            start = t_comp
+            t_comp = start + r.time_s
+        events.append(_counter("roofline: intensity (FLOP/B)", start,
+                               r.intensity, pid))
+        events.append(_counter("roofline: achieved/peak", start,
+                               r.achieved_fraction, pid))
+        events.append(_counter("roofline: bound (0=mem 1=flop 2=launch)",
+                               start, bound_code[r.bound], pid))
+    return events
+
+
+def metric_counter_events(metrics: Iterable[object], *,
+                          pid: int = HOST_PID, tid: int = 0
+                          ) -> List[Dict[str, object]]:
+    """Per-step counter tracks from :class:`repro.obs.metrics.StepMetrics`.
+
+    Emits arena bytes-in-use, loss scale, and cumulative comm retries on
+    the host (wall-clock) timeline, one sample per step at the step's end
+    — the quantities that previously existed only in the metrics JSONL
+    now line up under the host spans and the roofline tracks.  Steps are
+    placed on a cumulative ``wall_s`` clock (the recorder stores
+    durations, not absolute times).
+    """
+    events: List[Dict[str, object]] = []
+    t = 0.0
+    retries = 0
+    for m in metrics:
+        t += float(getattr(m, "wall_s", 0.0))
+        retries += int(getattr(m, "comm_retries", 0))
+        events.append(_counter("arena bytes in use", t,
+                               int(getattr(m, "arena_capacity_bytes", 0)),
+                               pid, tid))
+        scale = getattr(m, "loss_scale", None)
+        if scale is not None:
+            events.append(_counter("loss scale", t, float(scale), pid, tid))
+        events.append(_counter("comm retries (cumulative)", t, retries,
+                               pid, tid))
     return events
 
 
@@ -189,9 +261,17 @@ def perfetto_trace(*, spans: Optional[Iterable[Span]] = None,
                    schedule: Optional[BucketSchedule] = None,
                    schedule_pid: int = SIM_PID + 1,
                    anomalies: Optional[Iterable[object]] = None,
+                   metrics: Optional[Iterable[object]] = None,
+                   counters: bool = True,
                    metadata: Optional[Dict[str, object]] = None
                    ) -> Dict[str, object]:
-    """Assemble a complete Perfetto-loadable trace dict."""
+    """Assemble a complete Perfetto-loadable trace dict.
+
+    With ``counters`` (default), kernel export also emits the roofline
+    counter tracks, and ``metrics`` (an iterable of
+    :class:`~repro.obs.metrics.StepMetrics`) adds the arena/loss-scale/
+    comm-retry tracks on the host timeline.
+    """
     events: List[Dict[str, object]] = []
     if spans is not None:
         events.extend(span_events(spans))
@@ -199,10 +279,14 @@ def perfetto_trace(*, spans: Optional[Iterable[Span]] = None,
         if spec is None:
             raise ValueError("kernel export needs a GPUSpec to price slices")
         events.extend(kernel_events(kernels, spec))
+        if counters:
+            events.extend(roofline_counter_events(kernels, spec))
     if schedule is not None:
         events.extend(schedule_events(schedule, pid=schedule_pid))
     if anomalies is not None:
         events.extend(anomaly_events(anomalies))
+    if metrics is not None and counters:
+        events.extend(metric_counter_events(metrics))
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
@@ -214,3 +298,43 @@ def write_trace(path: str, trace: Dict[str, object]) -> None:
     """Write a trace dict produced by :func:`perfetto_trace` to disk."""
     with open(path, "w") as f:
         json.dump(trace, f)
+
+
+def read_trace(path: str) -> Dict[str, object]:
+    """Load a Perfetto trace JSON written by :func:`write_trace`."""
+    with open(path) as f:
+        trace = json.load(f)
+    if not isinstance(trace, dict) or "traceEvents" not in trace:
+        raise ValueError(f"{path}: not a trace_event JSON document")
+    return trace
+
+
+def trace_kernels(trace: Dict[str, object]
+                  ) -> List[KernelLaunch]:
+    """Rebuild the kernel-launch list from an exported trace.
+
+    The inverse of :func:`kernel_events` for the launch *description*
+    (names, element counts, FLOPs, stages — everything the cost model
+    prices; the simulated timestamps are derived and discarded).  Event
+    order in ``traceEvents`` is trace order, so the reconstructed list
+    replays identically.
+    """
+    out: List[KernelLaunch] = []
+    for ev in trace.get("traceEvents", []):
+        if ev.get("cat") != "kernel":
+            continue
+        a = ev.get("args") or {}
+        if "elems_read" not in a or "elems_written" not in a:
+            raise ValueError(
+                f"kernel slice {ev.get('name')!r} lacks elems_read/"
+                f"elems_written args (trace from an older exporter?)")
+        out.append(KernelLaunch(
+            name=str(ev["name"]),
+            elems_read=int(a["elems_read"]),
+            elems_written=int(a["elems_written"]),
+            flops=int(a.get("flops", 0)),
+            is_gemm=bool(a.get("gemm", False)),
+            dtype_bytes=int(a.get("dtype_bytes", 4)),
+            stage=str(a.get("stage", "forward")),
+            lib=str(a.get("lib", "lightseq2"))))
+    return out

@@ -49,6 +49,43 @@ def git_sha() -> Optional[str]:
     return sha if out.returncode == 0 and len(sha) == 40 else None
 
 
+@lru_cache(maxsize=1)
+def git_commit_time() -> Optional[int]:
+    """Unix commit timestamp (seconds) of the HEAD this package runs from.
+
+    Committer time, not author time: committer time is what ``git log``
+    orders history by, which makes it the monotonic half of the run-record
+    ordering key.  ``None`` outside a checkout.
+    """
+    here = os.path.dirname(os.path.abspath(__file__))
+    try:
+        out = subprocess.run(
+            ["git", "show", "-s", "--format=%ct", "HEAD"], cwd=here,
+            capture_output=True, text=True, timeout=5)
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    ts = out.stdout.strip()
+    return int(ts) if out.returncode == 0 and ts.isdigit() else None
+
+
+def order_key(sha: Optional[str] = None,
+              commit_time: Optional[int] = None) -> Optional[str]:
+    """Lexicographically sortable history key: ``<commit_time>-<sha12>``.
+
+    Commit timestamps order records across commits; the SHA suffix breaks
+    ties deterministically when several commits share a second (or a
+    rebase repeats a timestamp).  Zero-padded so *string* sort equals
+    numeric sort — trajectory ingestion never parses it back.  ``None``
+    when the tree has no resolvable HEAD.
+    """
+    sha = sha if sha is not None else git_sha()
+    commit_time = (commit_time if commit_time is not None
+                   else git_commit_time())
+    if sha is None or commit_time is None:
+        return None
+    return f"{commit_time:012d}-{sha[:12]}"
+
+
 def config_hash(config: Optional[Mapping]) -> Optional[str]:
     """Short stable digest of a configuration mapping.
 
@@ -73,6 +110,8 @@ def provenance(config: Optional[Mapping] = None) -> Dict[str, object]:
     block: Dict[str, object] = {
         "provenance_schema": PROVENANCE_SCHEMA,
         "git_sha": git_sha(),
+        "git_commit_time": git_commit_time(),
+        "order_key": order_key(),
         "config_hash": config_hash(config),
         "python": platform.python_version(),
     }

@@ -26,6 +26,7 @@ def make_run_record(name: str, *,
                     rows: Optional[Sequence[Sequence[object]]] = None,
                     claims: Optional[Sequence[Dict[str, object]]] = None,
                     config: Optional[Dict[str, object]] = None,
+                    profile: Optional[Dict[str, object]] = None,
                     notes: str = "") -> Dict[str, object]:
     """Build a run-record dict (everything beyond ``name`` is optional).
 
@@ -57,6 +58,11 @@ def make_run_record(name: str, *,
         record["claims"] = [dict(c) for c in claims]
     if config is not None:
         record["config"] = dict(config)
+    if profile is not None:
+        # a repro.obs.profile/v1 document (roofline + critical path +
+        # what-ifs) embedded whole, so a bench's perf record carries its
+        # own attribution
+        record["profile"] = dict(profile)
     if notes:
         record["notes"] = notes
     return record
@@ -99,6 +105,29 @@ def load_run_record(path: str) -> Dict[str, object]:
             f"{path}: not a {RUN_RECORD_SCHEMA} run record (schema="
             f"{schema!r})")
     return record
+
+
+def record_order_key(record: Dict[str, object],
+                     path: Optional[str] = None) -> str:
+    """The history-ordering key of a run record.
+
+    Prefers the provenance block's ``order_key``
+    (``<commit_time>-<sha12>``, lexicographically = historically sorted);
+    for records written outside a checkout, falls back to the file's
+    mtime (same zero-padded integer-seconds shape, so mixed directories
+    still sort consistently), then to the record name.  Deterministic for
+    any given directory of files — the property trajectory ingestion
+    needs.
+    """
+    prov = record.get("provenance")
+    if isinstance(prov, dict) and prov.get("order_key"):
+        return str(prov["order_key"])
+    if path is not None:
+        try:
+            return f"{int(os.stat(path).st_mtime):012d}-mtime"
+        except OSError:
+            pass
+    return f"{0:012d}-{record.get('name', '')}"
 
 
 def bench_record_path(directory: str, name: str) -> str:

@@ -20,6 +20,9 @@ from typing import Dict, List, Optional, Tuple
 
 from .runrecord import load_run_record
 
+#: schema tag every ``--json`` diff document carries.
+SUMMARIZE_SCHEMA = "repro.obs.summarize/v1"
+
 #: counters where *any* growth is a regression (lower is better).
 _LOWER_IS_BETTER = ("alloc", "miss", "exposed", "skip", "launch", "bytes",
                     "reservation", "anomal")
@@ -64,7 +67,7 @@ def diff_records(baseline: Dict[str, object], current: Dict[str, object], *,
     count — everything the text report prints, parseable.
     """
     out: Dict[str, object] = {
-        "schema": "repro.obs.summarize/v1",
+        "schema": SUMMARIZE_SCHEMA,
         "baseline": {"name": baseline.get("name"),
                      "provenance": baseline.get("provenance")},
         "current": {"name": current.get("name"),

@@ -1,0 +1,281 @@
+"""Cross-PR bench trajectory: many run records, ordered by history.
+
+:mod:`repro.obs.summarize` diffs exactly two records; this module
+generalizes it to a *directory* of them.  Every
+``repro.obs.run_record/v1`` document is ingested, ordered by the
+provenance ``order_key`` (commit timestamp + SHA — deterministic, no
+filename conventions), and each metric becomes a per-commit series:
+stage seconds, derived step total, named counters, and the aggregated
+step metrics (tok/s, exposed comm, allocation counts).
+
+Regression detection is budget-based across the whole series, not
+pairwise: a point regresses when it is worse than the *best earlier*
+point by more than the threshold, so a slow drift that never trips a
+single adjacent diff still trips the trajectory — and a regression
+introduced three PRs ago keeps failing until fixed or re-baselined.
+
+Entry point::
+
+    PYTHONPATH=src python -m repro.obs.trajectory RECORD_DIR \
+        [--threshold 0.05] [--metric step_total] [--json] [--out FILE]
+
+Exits non-zero when any regression is detected.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .runrecord import load_run_record, record_order_key
+from .summarize import _LOWER_IS_BETTER, _metrics_summary
+
+TRAJECTORY_SCHEMA = "repro.obs.trajectory/v1"
+
+#: direction of the derived step-metric aggregates (None = tracked,
+#: never gated — loss is a correctness quantity, not a perf budget).
+_METRIC_DIRECTION = {
+    "metrics.tokens_per_s": False,          # higher is better
+    "metrics.comm_exposed_s": True,
+    "metrics.skipped_steps": True,
+    "metrics.new_allocs": True,
+    "metrics.mean_loss_per_token": None,
+}
+
+
+def metric_values(record: Dict[str, object]) -> Dict[str, float]:
+    """Flatten one run record into ``{metric_name: value}``.
+
+    Namespaced by section (``stage_seconds.*``, ``counters.*``,
+    ``metrics.*``) plus the derived ``step_total_s`` so the headline
+    number needs no client-side summing.
+    """
+    out: Dict[str, float] = {}
+    stages = record.get("stage_seconds") or {}
+    for k, v in stages.items():
+        out[f"stage_seconds.{k}"] = float(v)
+    if stages:
+        out["step_total_s"] = sum(float(v) for v in stages.values())
+    for k, v in (record.get("counters") or {}).items():
+        if isinstance(v, (int, float)) and not isinstance(v, bool):
+            out[f"counters.{k}"] = float(v)
+    summary = _metrics_summary(record)
+    if summary:
+        for k, v in summary.items():
+            out[f"metrics.{k}"] = float(v)
+    return out
+
+
+def lower_is_better(metric: str) -> Optional[bool]:
+    """Whether smaller values of ``metric`` are better (None = ungated)."""
+    if metric.startswith("stage_seconds.") or metric == "step_total_s":
+        return True
+    if metric.startswith("counters."):
+        name = metric.lower()
+        return (True if any(tok in name for tok in _LOWER_IS_BETTER)
+                else None)
+    return _METRIC_DIRECTION.get(metric)
+
+
+@dataclass(frozen=True)
+class TrajectoryPoint:
+    """One record's value of one metric, at its place in history."""
+
+    order_key: str
+    name: str
+    path: str
+    value: float
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One budget violation: a point worse than the best earlier point."""
+
+    metric: str
+    order_key: str
+    name: str
+    value: float
+    best_value: float
+    best_order_key: str
+    ratio: float               # how much worse than the best (>1)
+
+
+@dataclass
+class Trajectory:
+    """A directory of run records turned into per-metric history."""
+
+    records: List[Tuple[str, str, Dict[str, object]]]  # (key, path, record)
+    series: Dict[str, List[TrajectoryPoint]]
+    skipped: List[Tuple[str, str]]                     # (path, reason)
+
+    def detect_regressions(self, threshold: float = 0.05
+                           ) -> List[Regression]:
+        """Every point worse than the best strictly-earlier point by more
+        than ``threshold`` (relative), for every gated metric."""
+        found: List[Regression] = []
+        for metric in sorted(self.series):
+            lib = lower_is_better(metric)
+            if lib is None:
+                continue
+            best: Optional[TrajectoryPoint] = None
+            for pt in self.series[metric]:
+                if best is not None:
+                    if lib:
+                        ratio = (pt.value / best.value if best.value > 0
+                                 else (1.0 if pt.value <= best.value
+                                       else float("inf")))
+                    else:
+                        ratio = (best.value / pt.value if pt.value > 0
+                                 else float("inf"))
+                    if ratio > 1.0 + threshold:
+                        found.append(Regression(
+                            metric, pt.order_key, pt.name, pt.value,
+                            best.value, best.order_key, ratio))
+                better = (best is None
+                          or (pt.value < best.value if lib
+                              else pt.value > best.value))
+                if better:
+                    best = pt
+        return found
+
+    def as_dict(self, threshold: float = 0.05) -> Dict[str, object]:
+        """Machine-readable trajectory report (the CI artifact)."""
+        return {
+            "schema": TRAJECTORY_SCHEMA,
+            "threshold": threshold,
+            "records": [{"order_key": k, "path": p,
+                         "name": r.get("name"),
+                         "git_sha": (r.get("provenance") or {}).get(
+                             "git_sha")}
+                        for k, p, r in self.records],
+            "series": {
+                m: {"lower_is_better": lower_is_better(m),
+                    "points": [{"order_key": pt.order_key,
+                                "name": pt.name, "value": pt.value}
+                               for pt in pts]}
+                for m, pts in sorted(self.series.items())},
+            "regressions": [
+                {"metric": r.metric, "order_key": r.order_key,
+                 "name": r.name, "value": r.value,
+                 "best_value": r.best_value,
+                 "best_order_key": r.best_order_key, "ratio": r.ratio}
+                for r in self.detect_regressions(threshold)],
+            "skipped": [{"path": p, "reason": why}
+                        for p, why in self.skipped],
+        }
+
+    def format_report(self, threshold: float = 0.05,
+                      metrics: Sequence[str] = ()) -> str:
+        """Human-readable per-metric history with regression flags."""
+        lines = [f"bench trajectory: {len(self.records)} record(s), "
+                 f"threshold {threshold:.0%}"]
+        regressions = self.detect_regressions(threshold)
+        flagged = {(r.metric, r.order_key, r.name) for r in regressions}
+        for metric in sorted(self.series):
+            if metrics and not any(m in metric for m in metrics):
+                continue
+            pts = self.series[metric]
+            lib = lower_is_better(metric)
+            arrow = {True: "(lower is better)",
+                     False: "(higher is better)"}.get(lib, "(ungated)")
+            lines.append(f"  {metric} {arrow}")
+            prev: Optional[float] = None
+            for pt in pts:
+                delta = ""
+                if prev not in (None, 0):
+                    delta = f"  {pt.value / prev - 1.0:+8.1%}"
+                flag = ("  REGRESSION"
+                        if (metric, pt.order_key, pt.name) in flagged
+                        else "")
+                lines.append(f"    {pt.order_key:<26}{pt.name:<24}"
+                             f"{pt.value:>14.6g}{delta}{flag}")
+                prev = pt.value
+        if self.skipped:
+            for path, why in self.skipped:
+                lines.append(f"  skipped {path}: {why}")
+        if regressions:
+            lines.append(f"  {len(regressions)} regression(s) past the "
+                         f"{threshold:.0%} budget")
+        else:
+            lines.append("  no regressions")
+        return "\n".join(lines)
+
+
+def load_trajectory(directory: str) -> Trajectory:
+    """Ingest every run record under ``directory`` (non-recursive).
+
+    Files that are not valid run records are *skipped with a reason*,
+    never fatal — a trajectory directory accumulates artifacts from many
+    CI runs and one torn write must not hide the rest of history.
+    Ordering is by ``record_order_key`` (provenance order key, mtime
+    fallback), path-tiebroken, so ingestion is deterministic.
+    """
+    try:
+        names = sorted(os.listdir(directory))
+    except FileNotFoundError:
+        raise ValueError(f"trajectory directory {directory!r} does not "
+                         f"exist")
+    records: List[Tuple[str, str, Dict[str, object]]] = []
+    skipped: List[Tuple[str, str]] = []
+    for n in names:
+        if not n.endswith(".json"):
+            continue
+        path = os.path.join(directory, n)
+        try:
+            rec = load_run_record(path)
+        except (OSError, ValueError) as e:
+            skipped.append((path, str(e)))
+            continue
+        records.append((record_order_key(rec, path), path, rec))
+    records.sort(key=lambda e: (e[0], e[1]))
+    series: Dict[str, List[TrajectoryPoint]] = {}
+    for key, path, rec in records:
+        for metric, value in metric_values(rec).items():
+            series.setdefault(metric, []).append(
+                TrajectoryPoint(key, str(rec.get("name", "")), path,
+                                value))
+    return Trajectory(records, series, skipped)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    p = argparse.ArgumentParser(
+        prog="python -m repro.obs.trajectory",
+        description="Order a directory of run records by history and "
+                    "flag budget regressions across the whole series.")
+    p.add_argument("directory", help="directory of run-record JSON files")
+    p.add_argument("--threshold", type=float, default=0.05,
+                   help="relative budget per metric (default 0.05)")
+    p.add_argument("--metric", action="append", default=[],
+                   help="only report metrics containing this substring "
+                        "(repeatable; gating still covers everything)")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable trajectory document on stdout")
+    p.add_argument("--out", help="also write the JSON document here "
+                                 "(the CI artifact)")
+    args = p.parse_args(argv)
+    try:
+        traj = load_trajectory(args.directory)
+    except (OSError, ValueError) as e:
+        print(f"error: {e}")
+        return 2
+    if not traj.records:
+        print(f"error: no run records under {args.directory!r}")
+        return 2
+    doc = traj.as_dict(args.threshold)
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(doc, f, indent=2, sort_keys=True)
+            f.write("\n")
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print(traj.format_report(args.threshold, args.metric))
+    return 1 if doc["regressions"] else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

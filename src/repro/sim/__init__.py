@@ -2,16 +2,18 @@
 training timelines, and memory/utilization time series."""
 
 from . import comm, costmodel, gpu_specs, timeline, utilization
-from .costmodel import TraceCost, kernel_family, kernel_time, speedup, trace_cost
-from .gpu_specs import A100, GPUS, V100, GPUSpec
+from .costmodel import (KernelTimeParts, TraceCost, kernel_family,
+                        kernel_time, kernel_time_parts, speedup, trace_cost)
+from .gpu_specs import A100, GPUS, H100, V100, GPUSpec, ridge_point
 from .timeline import (BucketSchedule, StepTimeline, TwoStreamTimeline,
                        overlap_schedule, step_timeline,
                        two_stream_step_timeline)
 
 __all__ = [
     "comm", "costmodel", "gpu_specs", "timeline", "utilization",
-    "GPUSpec", "V100", "A100", "GPUS",
-    "kernel_time", "kernel_family", "trace_cost", "TraceCost", "speedup",
+    "GPUSpec", "V100", "A100", "H100", "GPUS", "ridge_point",
+    "kernel_time", "kernel_time_parts", "KernelTimeParts",
+    "kernel_family", "trace_cost", "TraceCost", "speedup",
     "StepTimeline", "step_timeline", "BucketSchedule", "TwoStreamTimeline",
     "overlap_schedule", "two_stream_step_timeline",
 ]

@@ -17,8 +17,9 @@ these two terms.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, Iterable
+from typing import Dict, Iterable, Optional, Set
 
 from ..backend.device import STAGES, KernelLaunch
 from .gpu_specs import (GPUSpec, HOST_OVERHEAD_US, efficiency,
@@ -32,11 +33,17 @@ _FAMILY_PATTERNS = (
     ("softmax", "softmax"),
     ("dropout", "dropout"),
     ("embed", "embedding"),
+    # the reduction patterns must precede "ce_": "allreduce_..." and
+    # "reduce_scatter_..." contain the substring "ce_" and would be
+    # misfiled as cross-entropy criterion kernels otherwise
+    ("reduce", "reduction"),
+    ("allgather", "reduction"),
     ("criterion", "criterion"),
     ("nll", "criterion"),
     ("smooth", "criterion"),
     ("loss", "criterion"),
     ("log_kernel", "criterion"),
+    ("ce_", "criterion"),
     ("adam", "optimizer"),
     ("sgd", "optimizer"),
     ("zero_grad", "optimizer"),
@@ -47,17 +54,112 @@ _FAMILY_PATTERNS = (
     ("split_heads", "transpose"),
     ("merge_heads", "transpose"),
     ("grad", "reduction"),
-    ("reduce", "reduction"),
 )
 
+#: substrings naming kernels that legitimately ARE elementwise — the
+#: activation/bias/residual epilogues.  Everything else that falls past
+#: ``_FAMILY_PATTERNS`` is an *unknown* name, not an elementwise kernel,
+#: and gets warned about (once) so roofline attribution can't quietly
+#: misprice a whole kernel category under the wrong efficiency curve.
+_KNOWN_ELEMENTWISE = ("bias", "relu", "gelu", "tanh", "sigmoid", "residual",
+                      "scale", "mask_add", "gemm", "matmul", "add", "mul")
 
-def kernel_family(name: str) -> str:
-    """Classify a kernel name into a cost-model family."""
+#: unknown kernel names already warned about (one warning per unique name
+#: per process, so a 10k-launch trace doesn't emit 10k warnings).
+_WARNED_UNKNOWN: Set[str] = set()
+
+
+def known_kernel_family(name: str) -> Optional[str]:
+    """The cost-model family of a kernel name, or ``None`` if the name
+    matches no known pattern (the caller decides how to price it)."""
     n = name.lower()
     for pat, fam in _FAMILY_PATTERNS:
         if pat in n:
             return fam
+    for pat in _KNOWN_ELEMENTWISE:
+        if pat in n:
+            return "elementwise"
+    return None
+
+
+def kernel_family(name: str) -> str:
+    """Classify a kernel name into a cost-model family.
+
+    Unknown names fall back to the "elementwise" pricing curve (the
+    safest default) but emit a one-time warning per unique name: silence
+    here would let a renamed kernel's time drift between families without
+    anyone noticing, which is exactly what roofline attribution exists to
+    prevent.  :class:`TraceCost` additionally surfaces the summed time of
+    such launches as ``unattributed_s`` / ``unattributed_fraction``.
+    """
+    fam = known_kernel_family(name)
+    if fam is not None:
+        return fam
+    if name not in _WARNED_UNKNOWN:
+        _WARNED_UNKNOWN.add(name)
+        warnings.warn(
+            f"kernel name {name!r} matches no cost-model family pattern; "
+            f"pricing it as 'elementwise' and counting its time as "
+            f"unattributed (add a pattern in repro.sim.costmodel to "
+            f"attribute it)", stacklevel=2)
     return "elementwise"
+
+
+@dataclass(frozen=True)
+class KernelTimeParts:
+    """Roofline decomposition of one kernel launch's simulated time.
+
+    ``fixed_s`` is the launch + host-dispatch constant, ``mem_s`` and
+    ``flop_s`` the two roofline terms; the modeled time takes
+    ``fixed_s + max(mem_s, flop_s)``.  ``bound`` names the binding term:
+    ``"memory"`` or ``"compute"`` for whichever roofline term dominates,
+    ``"launch"`` when the fixed cost exceeds both (the fusion-target
+    regime of tiny kernels).
+    """
+
+    fixed_s: float
+    mem_s: float
+    flop_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.fixed_s + max(self.mem_s, self.flop_s)
+
+    @property
+    def roofline_s(self) -> float:
+        """The device-side part: total minus the fixed launch/host cost."""
+        return max(self.mem_s, self.flop_s)
+
+    @property
+    def bound(self) -> str:
+        if self.fixed_s > max(self.mem_s, self.flop_s):
+            return "launch"
+        return "compute" if self.flop_s > self.mem_s else "memory"
+
+
+def kernel_time_parts(k: KernelLaunch, spec: GPUSpec, *,
+                      include_host: bool = True) -> KernelTimeParts:
+    """Decompose one launch's simulated time into fixed/memory/compute.
+
+    This is the query primitive behind :func:`kernel_time` (which returns
+    just the sum) and behind :mod:`repro.obs.roofline`'s compute- vs
+    memory-bound attribution.
+    """
+    fixed = (spec.kernel_launch_us
+             + (HOST_OVERHEAD_US[k.lib] if include_host else 0.0)) * 1e-6
+    fp16 = k.dtype_bytes == 2
+    if k.is_gemm:
+        eff = gemm_efficiency(k.flops, fp16)
+        t_flop = k.flops / (spec.flops_per_s(fp16) * eff)
+        t_mem = k.bytes_moved / spec.mem_bandwidth
+        return KernelTimeParts(fixed, t_mem, t_flop)
+    fam = kernel_family(k.name)
+    elems = k.elems_read + k.elems_written
+    eff = efficiency(k.lib, fam, elems)
+    t_mem = k.bytes_moved / (spec.mem_bandwidth * eff)
+    # non-GEMM arithmetic rarely binds, but keep the term for hot math
+    t_flop = k.flops / (spec.flops_per_s(False) * 0.5)
+    return KernelTimeParts(fixed, t_mem, t_flop)
 
 
 def kernel_time(k: KernelLaunch, spec: GPUSpec, *,
@@ -69,26 +171,19 @@ def kernel_time(k: KernelLaunch, spec: GPUSpec, *,
     framework's per-op dispatch tax, which only end-to-end module timing
     pays.
     """
-    fixed = (spec.kernel_launch_us
-             + (HOST_OVERHEAD_US[k.lib] if include_host else 0.0)) * 1e-6
-    fp16 = k.dtype_bytes == 2
-    if k.is_gemm:
-        eff = gemm_efficiency(k.flops, fp16)
-        t_flop = k.flops / (spec.flops_per_s(fp16) * eff)
-        t_mem = k.bytes_moved / spec.mem_bandwidth
-        return fixed + max(t_flop, t_mem)
-    fam = kernel_family(k.name)
-    elems = k.elems_read + k.elems_written
-    eff = efficiency(k.lib, fam, elems)
-    t_mem = k.bytes_moved / (spec.mem_bandwidth * eff)
-    # non-GEMM arithmetic rarely binds, but keep the term for hot math
-    t_flop = k.flops / (spec.flops_per_s(False) * 0.5)
-    return fixed + max(t_mem, t_flop)
+    return kernel_time_parts(k, spec, include_host=include_host).total_s
 
 
 @dataclass
 class TraceCost:
-    """Aggregated simulated cost of a kernel trace."""
+    """Aggregated simulated cost of a kernel trace.
+
+    ``unattributed_s`` sums the time of launches whose names matched no
+    known family pattern (they were priced under the catch-all
+    elementwise curve) — a non-zero :attr:`unattributed_fraction` means
+    the roofline attribution is partially guessing and the family table
+    should grow a pattern.
+    """
 
     total_s: float = 0.0
     by_stage: Dict[str, float] = field(
@@ -97,6 +192,12 @@ class TraceCost:
     gemm_s: float = 0.0
     non_gemm_s: float = 0.0
     launches: int = 0
+    unattributed_s: float = 0.0
+
+    @property
+    def unattributed_fraction(self) -> float:
+        """Share of total time carried by unknown kernel names."""
+        return self.unattributed_s / self.total_s if self.total_s > 0 else 0.0
 
     def add(self, k: KernelLaunch, t: float) -> None:
         self.total_s += t
@@ -105,7 +206,11 @@ class TraceCost:
         # claims a more specific family (the tiled attention kernels are
         # GEMM-bound but reported as "attention" so fused-vs-tiled traffic
         # is comparable per family)
-        fam = kernel_family(k.name)
+        fam = known_kernel_family(k.name)
+        if fam is None:
+            fam = kernel_family(k.name)      # warns once per unique name
+            if not k.is_gemm:
+                self.unattributed_s += t
         if k.is_gemm and fam == "elementwise":
             fam = "gemm"
         self.by_family[fam] = self.by_family.get(fam, 0.0) + t

@@ -70,7 +70,29 @@ A100 = GPUSpec(
     nvlink_latency_us=6.0,
 )
 
-GPUS: Dict[str, GPUSpec] = {"V100": V100, "A100": A100}
+H100 = GPUSpec(
+    name="H100",
+    mem_bandwidth_gbs=3350.0,    # HBM3, SXM5
+    fp32_tflops=67.0,
+    fp16_tflops=989.0,           # dense tensor-core BF16/FP16
+    memory_gb=80.0,
+    kernel_launch_us=3.5,
+    nvlink_gbs=450.0,            # NVLink4 per-GPU aggregate
+    nvlink_latency_us=5.0,
+)
+
+GPUS: Dict[str, GPUSpec] = {"V100": V100, "A100": A100, "H100": H100}
+
+
+def ridge_point(spec: GPUSpec, fp16: bool = False) -> float:
+    """Roofline ridge point (FLOPs/byte) of a GPU.
+
+    Kernels whose arithmetic intensity sits below this are memory-bound at
+    peak; above it they are compute-bound.  The what-if engine and the
+    roofline attribution both measure each kernel's distance from this
+    knee, which is why it lives here next to the datasheet numbers.
+    """
+    return spec.flops_per_s(fp16) / spec.mem_bandwidth
 
 
 #: per-step host setup cost (s): data loading, collation, Python loop —

@@ -105,7 +105,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "vary a fault scenario)")
     p.add_argument("--trace-out", default=None, metavar="PATH",
                    help="write a Chrome/Perfetto trace JSON of the run "
-                        "(host spans + simulated kernel slices)")
+                        "(host spans + simulated kernel slices + roofline "
+                        "counter tracks)")
+    p.add_argument("--profile-out", default=None, metavar="PATH",
+                   help="write the performance-observatory report "
+                        "(roofline attribution, critical path, what-if "
+                        "projections) as JSON at the end of the run")
     p.add_argument("--metrics-out", default=None, metavar="PATH",
                    help="append per-step metrics (loss, tokens/s, "
                         "loss-scale, alloc counters) as JSONL")
@@ -247,6 +252,7 @@ def main(argv: Optional[List[str]] = None) -> int:
           f"fp16={cfg.fp16} fused={cfg.fused}")
 
     dev = Device(lib=lib)
+    keep_trace = bool(args.trace_out or args.profile_out)
     recorder = SpanRecorder() if args.trace_out else None
     metrics = (MetricsRecorder(path=args.metrics_out, config=vars(args))
                if args.metrics_out else None)
@@ -316,7 +322,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             if step % args.log_interval == 0 or step == args.steps:
                 wall = time.perf_counter() - window_t0
                 sim = trace_cost(dev.launches, spec).total_s
-                if args.trace_out:
+                if keep_trace:
                     kept_launches.extend(dev.launches)
                 dev.reset()
                 print(f"step {step:>5} | loss/tok "
@@ -329,15 +335,40 @@ def main(argv: Optional[List[str]] = None) -> int:
                 window_loss = window_tokens = 0
                 window_t0 = time.perf_counter()
     anomalies = collector.engine.anomalies if collector else []
+    # step-model metadata: everything repro.obs.profile needs to rebuild
+    # StepInputs from the saved trace (GPU, comm sizing, attention
+    # geometry for the attn_impl=tiled what-if)
+    step_meta = {
+        "task": args.task, "trainer": args.trainer, "steps": args.steps,
+        "gpu": args.gpu, "lib": lib, "world_size": 1, "itemsize": 4,
+        "grad_elems": model.num_parameters(),
+        "attn": {"head_dim": cfg.hidden_dim // cfg.nhead,
+                 "tile_q": cfg.attn_tile_q, "tile_k": cfg.attn_tile_k,
+                 "causal": args.task == "gpt",
+                 "attn_impl": cfg.resolved_attn_impl},
+    }
     if args.trace_out:
         write_trace(args.trace_out, perfetto_trace(
             spans=recorder.spans, kernels=kept_launches, spec=spec,
             anomalies=anomalies or None,
-            metadata={"task": args.task, "trainer": args.trainer,
-                      "steps": args.steps, "gpu": args.gpu}))
+            metrics=metrics.records if metrics is not None else None,
+            metadata=step_meta))
         print(f"trace written to {args.trace_out} "
               f"({len(recorder.spans)} spans, {len(kept_launches)} kernel "
               f"slices)")
+    if args.profile_out:
+        import json as _json
+
+        from .obs.critpath import StepInputs
+        from .obs.profile import profile_report
+        inputs = StepInputs(
+            trace=tuple(kept_launches), spec=spec,
+            grad_elems=step_meta["grad_elems"], attn=step_meta["attn"])
+        with open(args.profile_out, "w") as f:
+            _json.dump(profile_report(inputs), f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"profile report written to {args.profile_out} "
+              f"({len(kept_launches)} kernel launches analyzed)")
     if args.metrics_out:
         print(f"metrics written to {args.metrics_out} "
               f"({metrics.steps} steps)")

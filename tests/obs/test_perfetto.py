@@ -159,3 +159,71 @@ def test_empty_trace_is_valid():
     trace = perfetto_trace()
     assert trace["traceEvents"] == []
     json.dumps(trace)
+
+
+# -- counter tracks (roofline + per-step metrics) ----------------------------
+
+
+def _counters(events, name=None):
+    return [e for e in events if e["ph"] == "C"
+            and (name is None or e["name"] == name)]
+
+
+def test_roofline_counter_tracks():
+    from repro.obs.perfetto import roofline_counter_events
+    trace = _trace_with_sync()
+    events = roofline_counter_events(trace, V100)
+    names = {e["name"] for e in events}
+    assert names == {"roofline: intensity (FLOP/B)",
+                     "roofline: achieved/peak",
+                     "roofline: bound (0=mem 1=flop 2=launch)"}
+    # one sample per track per kernel, on the simulated clock
+    assert len(events) == 3 * len(trace)
+    for e in events:
+        assert e["pid"] == SIM_PID
+        assert e["args"]["value"] >= 0
+    bounds = _counters(events, "roofline: bound (0=mem 1=flop 2=launch)")
+    assert all(e["args"]["value"] in (0, 1, 2) for e in bounds)
+
+
+def test_metric_counter_tracks():
+    from types import SimpleNamespace
+    from repro.obs.perfetto import metric_counter_events
+    steps = [
+        SimpleNamespace(wall_s=0.1, arena_capacity_bytes=1 << 20,
+                        loss_scale=1024.0, comm_retries=0),
+        SimpleNamespace(wall_s=0.1, arena_capacity_bytes=2 << 20,
+                        loss_scale=512.0, comm_retries=2),
+    ]
+    events = metric_counter_events(steps)
+    arena = _counters(events, "arena bytes in use")
+    assert [e["args"]["value"] for e in arena] == [1 << 20, 2 << 20]
+    # steps land on a cumulative wall clock
+    assert arena[1]["ts"] > arena[0]["ts"]
+    retries = _counters(events, "comm retries (cumulative)")
+    assert [e["args"]["value"] for e in retries] == [0, 2]
+    assert [e["args"]["value"]
+            for e in _counters(events, "loss scale")] == [1024.0, 512.0]
+
+
+def test_loss_scale_track_skipped_for_fp32():
+    from types import SimpleNamespace
+    from repro.obs.perfetto import metric_counter_events
+    steps = [SimpleNamespace(wall_s=0.1, arena_capacity_bytes=0,
+                             loss_scale=None, comm_retries=0)]
+    assert _counters(metric_counter_events(steps), "loss scale") == []
+
+
+def test_perfetto_trace_emits_counters_with_kernels():
+    trace = perfetto_trace(kernels=_trace_with_sync(), spec=V100)
+    assert _counters(trace["traceEvents"])
+    quiet = perfetto_trace(kernels=_trace_with_sync(), spec=V100,
+                           counters=False)
+    assert not _counters(quiet["traceEvents"])
+
+
+def test_kernel_slices_roundtrip_through_args():
+    from repro.obs.perfetto import trace_kernels
+    launches = _trace_with_sync()
+    doc = perfetto_trace(kernels=launches, spec=V100)
+    assert trace_kernels(doc) == list(launches)

@@ -56,3 +56,50 @@ def test_metrics_stream_header_is_first_line(tmp_path):
 def test_header_json_serialisable():
     m = MetricsRecorder(config={"a": [1, 2]})
     json.dumps(m.events[0])
+
+
+# -- history ordering key ----------------------------------------------------
+
+
+def test_order_key_shape_and_sortability():
+    from repro.obs.provenance import order_key
+    k1 = order_key(sha="a" * 40, commit_time=100)
+    k2 = order_key(sha="b" * 40, commit_time=20000)
+    assert k1 == f"{100:012d}-" + "a" * 12
+    # lexicographic sort == historic sort thanks to zero padding
+    assert sorted([k2, k1]) == [k1, k2]
+
+
+def test_order_key_resolves_head_in_this_checkout():
+    from repro.obs.provenance import git_commit_time, git_sha, order_key
+    sha, ct = git_sha(), git_commit_time()
+    if sha is None or ct is None:
+        assert order_key() is None      # outside a checkout: no key
+    else:
+        assert order_key() == f"{ct:012d}-{sha[:12]}"
+
+
+def test_provenance_carries_order_key():
+    from repro.obs.provenance import git_commit_time, order_key
+    prov = provenance()
+    assert "order_key" in prov and "git_commit_time" in prov
+    # in this checkout both resolve and agree with the helpers
+    assert prov["order_key"] == order_key()
+    assert prov["git_commit_time"] == git_commit_time()
+
+
+def test_record_order_key_roundtrip(tmp_path):
+    """A record written in this checkout orders by its provenance stamp
+    after a disk round-trip; a stamp-less record falls back to mtime."""
+    from repro.obs.provenance import order_key
+    from repro.obs.runrecord import (load_run_record, record_order_key,
+                                     write_run_record)
+    path = str(tmp_path / "r.json")
+    write_run_record(path, make_run_record("t"))
+    rec = load_run_record(path)
+    if order_key() is not None:
+        assert record_order_key(rec, path) == order_key()
+    rec["provenance"].pop("order_key", None)
+    fallback = record_order_key(rec, path)
+    assert fallback.endswith("-mtime")
+    assert record_order_key({"name": "x"}) == f"{0:012d}-x"

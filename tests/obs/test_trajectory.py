@@ -1,0 +1,129 @@
+"""Bench trajectory: history ordering, budget regressions, CLI gating."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs.runrecord import make_run_record, write_run_record
+from repro.obs.trajectory import (TRAJECTORY_SCHEMA, load_trajectory,
+                                  lower_is_better, main, metric_values)
+
+
+def _record(i, step_s, *, name="gpt_speed", tok_s=None, sha=None):
+    """A run record pinned to position ``i`` in synthetic history."""
+    rec = make_run_record(
+        name,
+        stage_seconds={"forward": step_s * 0.4, "backward": step_s * 0.6},
+        counters={"launches": 100.0},
+        metrics=([{"step": 1, "num_tokens": int(tok_s), "wall_s": 1.0,
+                   "applied": True}]
+                 if tok_s is not None else None))
+    # pin a deterministic place in history (real records get this from
+    # the git committer timestamp)
+    rec["provenance"]["order_key"] = f"{1000 + i:012d}-{(sha or 'a' * 12)}"
+    return rec
+
+
+def _write(tmp_path, recs):
+    for j, rec in enumerate(recs):
+        write_run_record(str(tmp_path / f"r{j}.json"), rec)
+    return str(tmp_path)
+
+
+class TestIngestion:
+    def test_orders_by_history_not_filename(self, tmp_path):
+        # written in shuffled filename order; order keys disagree with it
+        d = _write(tmp_path, [_record(2, 0.30), _record(0, 0.10),
+                              _record(1, 0.20)])
+        traj = load_trajectory(d)
+        vals = [p.value for p in traj.series["step_total_s"]]
+        assert vals == pytest.approx([0.10, 0.20, 0.30])
+
+    def test_invalid_file_skipped_with_reason(self, tmp_path):
+        d = _write(tmp_path, [_record(0, 0.1)])
+        (tmp_path / "torn.json").write_text('{"schema": "repro.obs.run')
+        traj = load_trajectory(d)
+        assert len(traj.records) == 1
+        assert len(traj.skipped) == 1
+        assert "torn.json" in traj.skipped[0][0]
+
+    def test_missing_directory_raises(self):
+        with pytest.raises(ValueError, match="does not exist"):
+            load_trajectory("/nonexistent/trajectory/dir")
+
+    def test_metric_values_flatten(self):
+        vals = metric_values(_record(0, 0.1, tok_s=5000.0))
+        assert vals["step_total_s"] == pytest.approx(0.1)
+        assert "stage_seconds.forward" in vals
+        assert "counters.launches" in vals
+        assert vals["metrics.tokens_per_s"] == pytest.approx(5000.0)
+
+    def test_directions(self):
+        assert lower_is_better("step_total_s") is True
+        assert lower_is_better("stage_seconds.backward") is True
+        assert lower_is_better("metrics.tokens_per_s") is False
+        assert lower_is_better("metrics.mean_loss_per_token") is None
+
+
+class TestRegressionDetection:
+    def test_injected_10pct_regression_detected(self, tmp_path):
+        """The acceptance gate: >=3 records, a 10% step-time regression
+        injected into the newest one, detected at the 5% budget."""
+        d = _write(tmp_path, [_record(0, 0.100), _record(1, 0.101),
+                              _record(2, 0.110)])
+        regs = load_trajectory(d).detect_regressions(0.05)
+        assert any(r.metric == "step_total_s"
+                   and r.order_key.startswith("000000001002")
+                   for r in regs)
+
+    def test_within_budget_is_clean(self, tmp_path):
+        d = _write(tmp_path, [_record(0, 0.100), _record(1, 0.102),
+                              _record(2, 0.104)])
+        assert load_trajectory(d).detect_regressions(0.05) == []
+
+    def test_drift_past_best_not_just_neighbour(self, tmp_path):
+        # +4% then +4% again: no adjacent diff trips 5%, the series does
+        d = _write(tmp_path, [_record(0, 0.100), _record(1, 0.104),
+                              _record(2, 0.108)])
+        regs = load_trajectory(d).detect_regressions(0.05)
+        assert any(r.metric == "step_total_s" for r in regs)
+
+    def test_higher_is_better_drop_flagged(self, tmp_path):
+        d = _write(tmp_path, [_record(0, 0.1, tok_s=5000.0),
+                              _record(1, 0.1, tok_s=4000.0)])
+        regs = load_trajectory(d).detect_regressions(0.05)
+        assert any(r.metric == "metrics.tokens_per_s" for r in regs)
+
+
+class TestCLI:
+    def test_exit_nonzero_on_regression(self, tmp_path, capsys):
+        d = _write(tmp_path, [_record(0, 0.100), _record(1, 0.101),
+                              _record(2, 0.110)])
+        out = str(tmp_path / "traj.json")
+        assert main([d, "--threshold", "0.05", "--out", out]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+        doc = json.load(open(out))
+        assert doc["schema"] == TRAJECTORY_SCHEMA
+        assert doc["regressions"]
+        assert [r["order_key"] for r in doc["records"]] == sorted(
+            r["order_key"] for r in doc["records"])
+
+    def test_exit_zero_when_clean(self, tmp_path, capsys):
+        d = _write(tmp_path, [_record(0, 0.100), _record(1, 0.100)])
+        assert main([d, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["regressions"] == []
+
+    def test_exit_2_on_empty_dir(self, tmp_path, capsys):
+        os.mkdir(tmp_path / "empty")
+        assert main([str(tmp_path / "empty")]) == 2
+
+    def test_metric_filter_does_not_ungate(self, tmp_path, capsys):
+        d = _write(tmp_path, [_record(0, 0.100), _record(1, 0.110)])
+        # filter the report to counters only — the step regression must
+        # still gate the exit code
+        assert main([d, "--metric", "counters."]) == 1
+        out = capsys.readouterr().out
+        assert "counters.launches" in out
+        assert "step_total_s" not in out

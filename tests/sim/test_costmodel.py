@@ -116,3 +116,76 @@ class TestTraceAggregation:
 ])
 def test_new_kernel_families(name, family):
     assert kernel_family(name) == family
+
+
+class TestTraceHbmBytesByFamily:
+    """trace_hbm_bytes(..., family=) must partition the trace: every
+    kernel family — attention and optimizer included — is selectable and
+    the per-family bytes sum back to the whole-trace total."""
+
+    # one launch per family, with a distinct byte footprint each
+    _FAMILY_KERNELS = {
+        "attention": _k("ls_flash_attn_fwd", 1_000, 2_000, gemm=True),
+        "layernorm": _k("ls_layernorm_fwd", 1_001, 2_001),
+        "softmax": _k("ls_attn_softmax_fwd", 1_002, 2_002),
+        "dropout": _k("dropout_bwd", 1_003, 2_003),
+        "embedding": _k("ls_embedding_fwd", 1_004, 2_004),
+        "criterion": _k("ls_criterion_fwd", 1_005, 2_005),
+        "optimizer": _k("ls_fused_adam", 1_006, 2_006, stage="update"),
+        "memcpy": _k("grad_fp16_to_fp32_copy", 1_007, 2_007),
+        "transpose": _k("transpose_split_heads", 1_008, 2_008),
+        "reduction": _k("allreduce_grad_bucket", 1_009, 2_009,
+                        stage="sync"),
+        "elementwise": _k("bias_relu_fwd", 1_010, 2_010),
+        "gemm": _k("matmul_block", 1_011, 2_011, gemm=True),
+    }
+
+    def _trace(self):
+        return list(self._FAMILY_KERNELS.values())
+
+    @pytest.mark.parametrize("family", sorted(_FAMILY_KERNELS))
+    def test_each_family_selectable(self, family):
+        from repro.sim.costmodel import trace_hbm_bytes
+        got = trace_hbm_bytes(self._trace(), family=family)
+        assert got == self._FAMILY_KERNELS[family].bytes_moved
+
+    def test_families_partition_the_total(self):
+        from repro.sim.costmodel import trace_hbm_bytes
+        trace = self._trace()
+        total = trace_hbm_bytes(trace)
+        assert total == sum(trace_hbm_bytes(trace, family=f)
+                            for f in self._FAMILY_KERNELS)
+        assert total == sum(k.bytes_moved for k in trace)
+
+    def test_unmatched_family_is_zero(self):
+        from repro.sim.costmodel import trace_hbm_bytes
+        assert trace_hbm_bytes(self._trace(), family="warp_shuffle") == 0
+
+
+class TestUnknownKernelNames:
+    def test_unknown_name_warns_once(self):
+        from repro.sim.costmodel import kernel_family
+        with pytest.warns(UserWarning, match="no cost-model family"):
+            assert kernel_family("mystery_kernel_warns") == "elementwise"
+        # second classification of the same name is silent
+        import warnings as _w
+        with _w.catch_warnings():
+            _w.simplefilter("error")
+            kernel_family("mystery_kernel_warns")
+
+    def test_unattributed_fraction_surfaces_unknown_time(self):
+        import warnings as _w
+        with _w.catch_warnings():
+            _w.simplefilter("ignore")
+            cost = trace_cost(
+                [_k("gemm_qkv", 10_000, 10_000, flops=10_000, gemm=True),
+                 _k("mystery_kernel_frac", 10_000, 10_000)], V100)
+        assert 0 < cost.unattributed_fraction < 1
+        assert cost.unattributed_s == pytest.approx(
+            cost.total_s * cost.unattributed_fraction)
+
+    def test_known_trace_fully_attributed(self):
+        cost = trace_cost([_k("ls_layernorm_fwd", 10_000, 10_000),
+                           _k("gemm_qkv", 10_000, 10_000, gemm=True)], V100)
+        assert cost.unattributed_s == 0.0
+        assert cost.unattributed_fraction == 0.0
