@@ -87,7 +87,12 @@ def _prepare(arena_backed: bool):
     one_step()                          # warm caches / JIT-free but fair
     reset_alloc_counters()
     one_step()
-    return one_step, alloc_counters().snapshot()
+    counters = alloc_counters().snapshot()
+    # the per-step peak footprint: with an arena the step window resets at
+    # begin_step, so peak_bytes is one step's buffer traffic; the fresh
+    # path never opens a window and the reset above makes the cumulative
+    # total equal one step's too
+    return one_step, counters
 
 
 def _time_chunk(one_step):
@@ -132,6 +137,8 @@ def run_comparison():
         "fresh_alloc_mb_per_step": fresh_c.new_alloc_bytes / 1e6,
         "arena_allocs_per_step": arena_c.new_allocs,
         "arena_hits_per_step": arena_c.arena_hits,
+        "fresh_peak_bytes_per_step": fresh_c.peak_bytes,
+        "arena_peak_bytes_per_step": arena_c.peak_bytes,
         "launch_ratio": trace_diff.launch_ratio,
     }
 
@@ -144,6 +151,7 @@ def run_record(results=None):
         counters={k: r[k] for k in
                   ("arena_allocs_per_step", "arena_hits_per_step",
                    "fresh_allocs_per_step", "fresh_alloc_mb_per_step",
+                   "fresh_peak_bytes_per_step", "arena_peak_bytes_per_step",
                    "launch_ratio")},
         stage_seconds={"fresh_step": r["fresh_ms"] / 1e3,
                        "arena_step": r["arena_ms"] / 1e3},
@@ -182,6 +190,13 @@ def test_arena_smoke(tmp_path):
     assert r["arena_hits_per_step"] > 0
     assert r["fresh_allocs_per_step"] > 0      # the baseline really churns
     assert r["launch_ratio"] == 1.0            # arena never changes kernels
+    # peak-bytes high-water mark: nonzero (the windowed counter is really
+    # counting) and never larger than the fresh path's — the arena's
+    # backward runs through the Fig.-8 lifetime-shared plan, so its
+    # per-step footprint is the *shared* total while fresh pays the naive
+    # sum of individual buffers
+    assert r["arena_peak_bytes_per_step"] > 0
+    assert r["arena_peak_bytes_per_step"] <= r["fresh_peak_bytes_per_step"]
     assert r["arena_ms"] <= r["fresh_ms"] * _WALLCLOCK_TOLERANCE, (
         f"arena step slower than fresh: {r['arena_ms']:.2f} ms vs "
         f"{r['fresh_ms']:.2f} ms")

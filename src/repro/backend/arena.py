@@ -40,6 +40,7 @@ outputs live, never what they contain.
 
 from __future__ import annotations
 
+import functools
 import threading
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
@@ -48,7 +49,7 @@ import numpy as np
 
 from .allocator import StaticPlanAllocator, TensorSpec, plan_offsets
 from .device import Device
-from .profiler import count_arena_hit, count_arena_miss
+from .profiler import begin_alloc_step, count_arena_hit, count_arena_miss
 
 #: per-tensor alignment inside a lifetime-sharing plan block, so dtype views
 #: at plan offsets are always aligned regardless of neighbouring tensors.
@@ -65,13 +66,128 @@ def _nbytes(shape: Sequence[int], dtype) -> int:
     return n * np.dtype(dtype).itemsize
 
 
+# ---------------------------------------------------------------------------
+# memory tracers + requesting-site labels (the memory observatory's hooks)
+# ---------------------------------------------------------------------------
+
+#: installed memory tracers (:class:`repro.obs.memory.MemoryTracer`).  A
+#: module-level list so the hot-path guard in :meth:`ActivationArena.request`
+#: is a single truthiness test — the same near-free-when-uninstalled
+#: discipline as ``Layer.tap`` and the span recorder stack.
+_tracers: List[object] = []
+
+
+def memory_tracers() -> List[object]:
+    """The live list of installed memory tracers (usually empty)."""
+    return _tracers
+
+
+@contextmanager
+def use_memory_tracer(tracer) -> Iterator[object]:
+    """Install a memory tracer for the dynamic extent of the block.
+
+    Every arena request/plan/reservation/OOM inside the block is reported
+    to ``tracer`` (duck-typed ``on_request``/``on_plan``/``on_step``/
+    ``on_reserve``/``on_oom`` hooks).
+    """
+    _tracers.append(tracer)
+    try:
+        yield tracer
+    finally:
+        _tracers.remove(tracer)
+
+
+_site_tls = threading.local()
+
+
+def _sites() -> List[str]:
+    st = getattr(_site_tls, "stack", None)
+    if st is None:
+        st = []
+        _site_tls.stack = st
+    return st
+
+
+def current_site() -> Optional[str]:
+    """The innermost requesting-site label, for memory attribution.
+
+    Prefers the :func:`mem_scope` stack (layer names threaded through
+    forward/backward), falls back to the innermost active span's name, then
+    ``None``.
+    """
+    st = getattr(_site_tls, "stack", None)
+    if st:
+        return st[-1]
+    # deferred for the same reason as in _reserve: repro.obs is not
+    # importable while backend packages are still initialising
+    from ..obs.spans import current_recorder
+    rec = current_recorder()
+    if rec is not None:
+        spans = rec._stack()
+        if spans:
+            return spans[-1].name
+    return None
+
+
+@contextmanager
+def mem_scope(site: str) -> Iterator[None]:
+    """Label arena requests inside the block with ``site``.
+
+    A no-op (no stack push, no allocation) when no memory tracer is
+    installed, so the labels stay permanently threaded through the layers.
+    """
+    if not _tracers:
+        yield
+        return
+    st = _sites()
+    st.append(site)
+    try:
+        yield
+    finally:
+        st.pop()
+
+
+def mem_scoped(fn):
+    """Decorate a ``Layer`` method so its arena requests carry the layer
+    name as the requesting site (``with mem_scope(self.name)``)."""
+    @functools.wraps(fn)
+    def wrapper(self, *args, **kwargs):
+        if not _tracers:
+            return fn(self, *args, **kwargs)
+        with mem_scope(self.name):
+            return fn(self, *args, **kwargs)
+    return wrapper
+
+
 class ArenaOOM(RuntimeError):
     """A step's activation demand exceeded the arena's ``max_bytes`` budget.
 
     Raised *before* the offending buffer is allocated, so an over-budget
     path (e.g. quadratic attention at long sequence length) fails fast
     instead of materialising multi-GB host arrays first.
+
+    Carries the failure's accounting as attributes: ``requested`` (bytes of
+    the failing request), ``budget`` (``max_bytes``), ``demand`` (step
+    demand before the request), ``capacity`` (current reservation),
+    ``site`` (requesting layer/span, when known), ``shape``/``dtype`` of
+    the request, and — when a memory tracer is installed — a full
+    forensics ``report`` (see :func:`repro.obs.memory.oom_forensics`).
     """
+
+    def __init__(self, message: str, *, requested: int = 0,
+                 budget: Optional[int] = None, demand: int = 0,
+                 capacity: int = 0, site: Optional[str] = None,
+                 shape: Optional[Tuple[int, ...]] = None,
+                 dtype: Optional[str] = None):
+        super().__init__(message)
+        self.requested = requested
+        self.budget = budget
+        self.demand = demand
+        self.capacity = capacity
+        self.site = site
+        self.shape = shape
+        self.dtype = dtype
+        self.report: Optional[Dict[str, object]] = None
 
 
 class ActivationArena:
@@ -93,7 +209,8 @@ class ActivationArena:
         self._slab: Optional[np.ndarray] = None
         #: demand carried across steps: next reservation must cover the max.
         self._peak_demand = 0
-        self._plan_cache: Dict[tuple, Tuple[Dict[str, int], int]] = {}
+        #: plan key -> (offsets, shared total, naive no-sharing total)
+        self._plan_cache: Dict[tuple, Tuple[Dict[str, int], int, int]] = {}
         self.steps = 0
         self.reservations = 0
         #: bumped on every (re-)reservation: captured programs bake views of
@@ -113,6 +230,14 @@ class ActivationArena:
         return self._alloc.demand
 
     @property
+    def peak_demand(self) -> int:
+        """High-water per-step demand in bytes, including the in-flight
+        step.  Once :meth:`begin_step` has folded the maximum step in,
+        ``round_block(peak_demand) == capacity`` — the bitwise invariant
+        the memory observatory asserts."""
+        return max(self._peak_demand, self._alloc.peak_demand)
+
+    @property
     def warmed_up(self) -> bool:
         """True once a slab exists that covered every scanned step."""
         return self.capacity > 0 and self.capacity >= self._peak_demand
@@ -126,15 +251,26 @@ class ActivationArena:
         # during package init, before repro.obs can finish loading.
         from ..obs.spans import span
         if self.max_bytes is not None and nbytes > self.max_bytes:
-            raise ArenaOOM(
-                f"arena reservation of {nbytes} bytes exceeds the "
-                f"max_bytes budget of {self.max_bytes}")
+            site = current_site()
+            exc = ArenaOOM(
+                f"arena reservation of {nbytes:,} bytes exceeds the "
+                f"max_bytes budget of {self.max_bytes:,} (current "
+                f"reservation {self.capacity:,} bytes"
+                + (f", requested at {site}" if site else "") + ")",
+                requested=nbytes, budget=self.max_bytes,
+                demand=self._alloc.demand, capacity=self.capacity,
+                site=site)
+            for t in _tracers:
+                t.on_oom(self, exc)
+            raise exc
         with span("arena/reserve"):
             self._alloc = StaticPlanAllocator(self._device)
             self._alloc.reserve(nbytes)
             self._slab = np.empty(self._alloc.reserved_bytes, dtype=np.uint8)
             self.reservations += 1
             self.generation += 1
+        for t in _tracers:
+            t.on_reserve(self, nbytes)
 
     def begin_step(self) -> None:
         """Start a step: rewind the bump cursor, re-reserving on growth."""
@@ -142,7 +278,10 @@ class ActivationArena:
         if self._peak_demand > self.capacity:
             self._reserve(self._peak_demand)
         self._alloc.reset()
+        begin_alloc_step()        # new peak_bytes window for the profiler
         self.steps += 1
+        for t in _tracers:
+            t.on_step(self)
 
     @contextmanager
     def step(self) -> Iterator["ActivationArena"]:
@@ -176,17 +315,34 @@ class ActivationArena:
             return np.empty(shape, dtype)
         if (self.max_bytes is not None
                 and self._alloc.demand + nbytes > self.max_bytes):
-            raise ArenaOOM(
-                f"step demand {self._alloc.demand + nbytes} bytes for "
-                f"{shape} {dtype} exceeds the max_bytes budget of "
-                f"{self.max_bytes}")
+            site = current_site()
+            exc = ArenaOOM(
+                f"arena OOM: request of {nbytes:,} bytes for {shape} "
+                f"{dtype}" + (f" at {site}" if site else "")
+                + f" pushes step demand to "
+                f"{self._alloc.demand + nbytes:,} bytes, over the "
+                f"max_bytes budget of {self.max_bytes:,} "
+                f"(current reservation {self.capacity:,} bytes, step "
+                f"demand before the request {self._alloc.demand:,})",
+                requested=nbytes, budget=self.max_bytes,
+                demand=self._alloc.demand, capacity=self.capacity,
+                site=site, shape=shape, dtype=str(dtype))
+            for t in _tracers:
+                t.on_oom(self, exc)
+            raise exc
         blk = self._alloc.try_alloc(nbytes)
         if blk is None:
             count_arena_miss(nbytes)
-            return np.empty(shape, dtype)
-        count_arena_hit(nbytes)
-        view = self._slab[blk.offset:blk.offset + nbytes]
-        return view.view(dtype).reshape(shape)
+            out = np.empty(shape, dtype)
+        else:
+            count_arena_hit(nbytes)
+            view = self._slab[blk.offset:blk.offset + nbytes]
+            out = view.view(dtype).reshape(shape)
+        if _tracers:
+            for t in _tracers:
+                t.on_request(self, shape=shape, dtype=dtype, nbytes=nbytes,
+                             hit=blk is not None, demand=self._alloc.demand)
+        return out
 
     def request_plan(self, entries: Sequence[PlanEntry]) -> Dict[str, np.ndarray]:
         """Lifetime-shared buffers for a set of named tensors (Fig. 8).
@@ -208,9 +364,16 @@ class ActivationArena:
                 nb = (nb + _PLAN_ALIGN - 1) // _PLAN_ALIGN * _PLAN_ALIGN
                 specs.append(TensorSpec(name, max(nb, _PLAN_ALIGN),
                                         start, end))
-            cached = plan_offsets(specs)
+            offsets, total = plan_offsets(specs)
+            # the no-sharing footprint (sum of aligned tensors) rides along
+            # so the memory observatory can report the Fig.-8 saving
+            cached = (offsets, total, sum(s.nbytes for s in specs))
             self._plan_cache[key] = cached
-        offsets, total = cached
+        offsets, total, naive_total = cached
+        if _tracers:
+            for t in _tracers:
+                t.on_plan(self, entries=key, offsets=offsets, total=total,
+                          naive_total=naive_total)
         base = self.request((total,), np.uint8)
         out: Dict[str, np.ndarray] = {}
         for name, shape, dtype, _start, _end in entries:

@@ -45,6 +45,15 @@ class AllocCounters:
     arena_hit_bytes: int = 0
     arena_misses: int = 0
     arena_miss_bytes: int = 0
+    #: bytes requested in the current step window (every provenance counts:
+    #: fresh, hit and miss are all real per-step buffer traffic).
+    window_bytes: int = 0
+    #: high-water mark of ``window_bytes`` across step windows — the
+    #: per-step peak footprint.  Windows are delimited by
+    #: :func:`begin_alloc_step` (called from ``ActivationArena.begin_step``);
+    #: with no arena the window never resets and the peak equals the
+    #: cumulative total.
+    peak_bytes: int = 0
 
     @property
     def new_allocs(self) -> int:
@@ -59,7 +68,12 @@ class AllocCounters:
         return replace(self)
 
     def since(self, base: "AllocCounters") -> "AllocCounters":
-        """Counter delta relative to an earlier :meth:`snapshot`."""
+        """Counter delta relative to an earlier :meth:`snapshot`.
+
+        ``peak_bytes``/``window_bytes`` are carried as their current
+        *absolute* values, not deltas — a high-water mark relative to an
+        arbitrary snapshot has no meaning.
+        """
         return AllocCounters(
             fresh=self.fresh - base.fresh,
             fresh_bytes=self.fresh_bytes - base.fresh_bytes,
@@ -67,6 +81,8 @@ class AllocCounters:
             arena_hit_bytes=self.arena_hit_bytes - base.arena_hit_bytes,
             arena_misses=self.arena_misses - base.arena_misses,
             arena_miss_bytes=self.arena_miss_bytes - base.arena_miss_bytes,
+            window_bytes=self.window_bytes,
+            peak_bytes=self.peak_bytes,
         )
 
 
@@ -84,21 +100,37 @@ def reset_alloc_counters() -> None:
     c.fresh = c.fresh_bytes = 0
     c.arena_hits = c.arena_hit_bytes = 0
     c.arena_misses = c.arena_miss_bytes = 0
+    c.window_bytes = c.peak_bytes = 0
+
+
+def begin_alloc_step() -> None:
+    """Open a new per-step window for the ``peak_bytes`` high-water mark."""
+    _ALLOC_COUNTERS.window_bytes = 0
+
+
+def _count_window(nbytes: int) -> None:
+    c = _ALLOC_COUNTERS
+    c.window_bytes += nbytes
+    if c.window_bytes > c.peak_bytes:
+        c.peak_bytes = c.window_bytes
 
 
 def count_fresh_alloc(nbytes: int) -> None:
     _ALLOC_COUNTERS.fresh += 1
     _ALLOC_COUNTERS.fresh_bytes += int(nbytes)
+    _count_window(int(nbytes))
 
 
 def count_arena_hit(nbytes: int) -> None:
     _ALLOC_COUNTERS.arena_hits += 1
     _ALLOC_COUNTERS.arena_hit_bytes += int(nbytes)
+    _count_window(int(nbytes))
 
 
 def count_arena_miss(nbytes: int) -> None:
     _ALLOC_COUNTERS.arena_misses += 1
     _ALLOC_COUNTERS.arena_miss_bytes += int(nbytes)
+    _count_window(int(nbytes))
 
 
 # ---------------------------------------------------------------------------

@@ -20,6 +20,7 @@ import numpy as np
 
 from ..backend.kernels import elementwise as ew
 from ..backend.kernels import gemm, transform
+from ..backend.arena import mem_scoped
 from ..config import LSConfig
 from ..layers import initializers as init
 from ..layers.attention import padding_mask
@@ -65,6 +66,7 @@ class BertModel(Layer):
         # labels are 0..C-1; no padding sentinel in a classification head
         self.criterion.ignore_index = -100
 
+    @mem_scoped
     def forward(self, tokens: np.ndarray, labels: np.ndarray
                 ) -> Tuple[float, int]:
         """``tokens``: (B, L) ids; ``labels``: (B,) class ids."""
@@ -92,6 +94,7 @@ class BertModel(Layer):
         loss, n = self.criterion.forward(logits, labels)
         return loss, n
 
+    @mem_scoped
     def backward(self, grad_scale: float = 1.0) -> None:
         cfg = self.config
         d_logits = self.criterion.backward(grad_scale)

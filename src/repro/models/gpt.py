@@ -13,6 +13,8 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from ..backend.arena import mem_scoped
+
 from ..config import LSConfig
 from ..layers import initializers as init
 from ..layers.attention import causal_mask, combine_masks, padding_mask
@@ -49,6 +51,7 @@ class GPTModel(Layer):
             "criterion", LSCrossEntropyLayer(config, name=f"{name}.crit",
                                              seed=seed))
 
+    @mem_scoped
     def forward(self, tokens: np.ndarray, targets: np.ndarray
                 ) -> Tuple[float, int]:
         """``tokens``: (B, L) input ids; ``targets``: (B, L) next tokens
@@ -71,6 +74,7 @@ class GPTModel(Layer):
         logits = self.out_proj.forward(x)
         return self.criterion.forward(logits, targets)
 
+    @mem_scoped
     def backward(self, grad_scale: float = 1.0) -> None:
         cfg = self.config
         d_logits = self.criterion.backward(grad_scale)

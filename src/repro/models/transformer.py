@@ -20,6 +20,7 @@ import numpy as np
 
 from ..backend.dtypes import itemsize
 from ..backend.kernels import elementwise as ew
+from ..backend.arena import mem_scoped
 from ..config import LSConfig
 from ..layers import initializers as init
 from ..layers.attention import causal_mask, padding_mask
@@ -106,6 +107,7 @@ class TransformerModel(Layer):
             x = self._dec_ln.forward(x, "dec_ln")
         return x
 
+    @mem_scoped
     def forward(self, src_tokens: np.ndarray, tgt_input: np.ndarray,
                 tgt_output: np.ndarray) -> Tuple[float, int]:
         """Full forward: returns (summed loss, non-pad target tokens).
@@ -118,6 +120,7 @@ class TransformerModel(Layer):
         logits = self.out_proj.forward(dec_out)
         return self.criterion.forward(logits, tgt_output)
 
+    @mem_scoped
     def backward(self, grad_scale: float = 1.0) -> None:
         """Backward through the whole graph; accumulates param grads."""
         cfg = self.config

@@ -36,6 +36,11 @@ instead of ad-hoc printouts:
 * :mod:`~repro.obs.trajectory` — ``python -m repro.obs.trajectory DIR``
   orders a directory of run records by commit history and applies
   budget-based regression detection across the whole series.
+* :mod:`~repro.obs.memory` — the memory observatory: arena lifetime
+  timelines (peak bitwise-equal to the reserved high-water mark),
+  peak attribution by layer/stage/tensor family, waste accounting,
+  OOM forensics, and the what-if capacity engine, surfaced by
+  ``python -m repro.obs.memory`` (and ``repro.train --memory-out``).
 
 With no recorder installed every hook is a near-free no-op, so the
 instrumentation can stay permanently threaded through the hot paths.
@@ -49,10 +54,10 @@ from .numerics import (NUMERICS_SCHEMA, NumericsCollector, StepNumerics,
 from .critpath import (CriticalPath, Projection, StepInputs,
                        attribute_critical_path, build_step_dag,
                        project_timeline, tiled_attention_trace, whatif)
-from .perfetto import (anomaly_events, kernel_events, metric_counter_events,
-                       perfetto_trace, read_trace, roofline_counter_events,
-                       schedule_events, span_events, trace_kernels,
-                       write_trace)
+from .perfetto import (anomaly_events, kernel_events, memory_counter_events,
+                       metric_counter_events, perfetto_trace, read_trace,
+                       roofline_counter_events, schedule_events, span_events,
+                       trace_kernels, write_trace)
 from .provenance import config_hash, git_sha, order_key, provenance
 from .roofline import (LaunchRoofline, RooflineReport, analyze_launch,
                        roofline_report)
@@ -76,6 +81,17 @@ _LAZY = {
     "Trajectory": ("trajectory", "Trajectory"),
     "load_trajectory": ("trajectory", "load_trajectory"),
     "profile_report": ("profile", "profile_report"),
+    "MEMORY_SCHEMA": ("memory", "MEMORY_SCHEMA"),
+    "MemoryTracer": ("memory", "MemoryTracer"),
+    "MemoryReport": ("memory", "MemoryReport"),
+    "memory_report": ("memory", "memory_report"),
+    "write_memory_report": ("memory", "write_memory_report"),
+    "load_memory_report": ("memory", "load_memory_report"),
+    "project_capacity": ("memory", "project_capacity"),
+    "max_fit": ("memory", "max_fit"),
+    "oom_forensics": ("memory", "oom_forensics"),
+    "use_memory_tracer": ("memory", "use_memory_tracer"),
+    "mem_scope": ("memory", "mem_scope"),
 }
 
 
@@ -98,7 +114,8 @@ __all__ = [
     "Anomaly", "AnomalyEngine", "AnomalyHalted", "HealthReport",
     "analyze_rows", "default_detectors",
     "provenance", "git_sha", "config_hash", "order_key",
-    "anomaly_events", "kernel_events", "metric_counter_events",
+    "anomaly_events", "kernel_events", "memory_counter_events",
+    "metric_counter_events",
     "perfetto_trace", "read_trace", "roofline_counter_events",
     "schedule_events", "span_events", "trace_kernels", "write_trace",
     "RUN_RECORD_SCHEMA", "bench_record_path", "load_run_record",
@@ -108,4 +125,7 @@ __all__ = [
     "CriticalPath", "Projection", "StepInputs", "attribute_critical_path",
     "build_step_dag", "project_timeline", "tiled_attention_trace", "whatif",
     "Trajectory", "load_trajectory", "profile_report",
+    "MEMORY_SCHEMA", "MemoryTracer", "MemoryReport", "memory_report",
+    "write_memory_report", "load_memory_report", "project_capacity",
+    "max_fit", "oom_forensics", "use_memory_tracer", "mem_scope",
 ]

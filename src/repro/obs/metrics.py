@@ -54,6 +54,12 @@ class StepMetrics:
     # arena state (cumulative — re-reservations are the Fig.-16 growth steps)
     arena_reservations: int = 0
     arena_capacity_bytes: int = 0
+    # memory observatory (§3.3): per-step high-water marks.  peak is the
+    # max step demand seen so far, step demand the last completed step's,
+    # waste the capacity minus demand (rounding slack + retired peaks).
+    arena_peak_bytes: int = 0
+    arena_step_demand_bytes: int = 0
+    arena_waste_bytes: int = 0
     # two-stream comm split (seconds; zero on single-device runs)
     comm_hidden_s: float = 0.0
     comm_exposed_s: float = 0.0
@@ -183,6 +189,13 @@ class MetricsRecorder:
                                     if arena is not None else 0),
                 arena_capacity_bytes=(int(arena.capacity)
                                       if arena is not None else 0),
+                arena_peak_bytes=(int(getattr(arena, "peak_demand", 0))
+                                  if arena is not None else 0),
+                arena_step_demand_bytes=(int(getattr(arena, "demand", 0))
+                                         if arena is not None else 0),
+                arena_waste_bytes=(max(int(arena.capacity)
+                                       - int(getattr(arena, "demand", 0)), 0)
+                                   if arena is not None else 0),
                 comm_hidden_s=(float(comm.hidden_s)
                                if comm is not None else 0.0),
                 comm_exposed_s=(float(comm.exposed_s)
@@ -233,6 +246,8 @@ class MetricsRecorder:
             "skipped_steps": sum(1 for r in self.records if not r.applied),
             "new_allocs": sum(r.new_allocs for r in self.records),
             "arena_hits": sum(r.arena_hits for r in self.records),
+            "arena_peak_bytes": max(r.arena_peak_bytes
+                                    for r in self.records),
             "comm_hidden_s": sum(r.comm_hidden_s for r in self.records),
             "comm_exposed_s": sum(r.comm_exposed_s for r in self.records),
             "comm_retries": sum(r.comm_retries for r in self.records),

@@ -208,6 +208,61 @@ def metric_counter_events(metrics: Iterable[object], *,
     return events
 
 
+def memory_counter_events(events_in: Iterable[object], *,
+                          pid: int = HOST_PID, tid: int = 0,
+                          top_families: int = 4
+                          ) -> List[Dict[str, object]]:
+    """Arena occupancy + per-family byte tracks from a memory tracer.
+
+    ``events_in`` is a :class:`repro.obs.memory.MemoryTracer` event
+    stream (or its ``events`` list).  Emits one **occupancy** track (the
+    cumulative step demand, sampled at every request's wall-clock time
+    and reset to zero at each step boundary — the sawtooth whose crest is
+    the slab high-water mark) plus one cumulative-bytes track per tensor
+    family for the ``top_families`` biggest families, so "where did the
+    peak come from" is readable straight off the trace.  Timestamps share
+    the span recorder's epoch when the tracer was built with one, so the
+    sawtooth lines up under the host spans.
+    """
+    from .memory import tensor_family
+    evs = getattr(events_in, "events", events_in)
+    evs = list(evs)
+    fam_totals: Dict[str, int] = {}
+    for e in evs:
+        if getattr(e, "kind", None) == "request":
+            fam = tensor_family(getattr(e, "site", None))
+            fam_totals[fam] = fam_totals.get(fam, 0) + e.rounded
+    families = [f for f, _ in sorted(fam_totals.items(),
+                                     key=lambda kv: -kv[1])[:top_families]]
+    out: List[Dict[str, object]] = []
+    fam_run = {f: 0 for f in families}
+    for e in evs:
+        kind = getattr(e, "kind", None)
+        if kind == "step":
+            out.append(_counter("arena occupancy (bytes)", e.t_s, 0,
+                                pid, tid))
+            for f in families:
+                fam_run[f] = 0
+                out.append(_counter(f"arena bytes: {f}", e.t_s, 0,
+                                    pid, tid))
+        elif kind == "request":
+            out.append(_counter("arena occupancy (bytes)", e.t_s,
+                                e.demand_bytes, pid, tid))
+            fam = tensor_family(e.site)
+            if fam in fam_run:
+                fam_run[fam] += e.rounded
+                out.append(_counter(f"arena bytes: {fam}", e.t_s,
+                                    fam_run[fam], pid, tid))
+        elif kind == "oom":
+            out.append({
+                "name": "arena OOM", "cat": "memory", "ph": "i", "s": "g",
+                "ts": e.t_s * _US, "pid": pid, "tid": tid,
+                "args": {"requested_bytes": e.nbytes, "site": e.site,
+                         "demand_bytes": e.demand_bytes},
+            })
+    return out
+
+
 def schedule_events(sched: BucketSchedule, *, pid: int = SIM_PID,
                     offset_s: float = 0.0) -> List[Dict[str, object]]:
     """The two-stream overlap schedule: backward on the compute thread,
@@ -262,15 +317,18 @@ def perfetto_trace(*, spans: Optional[Iterable[Span]] = None,
                    schedule_pid: int = SIM_PID + 1,
                    anomalies: Optional[Iterable[object]] = None,
                    metrics: Optional[Iterable[object]] = None,
+                   memory: Optional[object] = None,
                    counters: bool = True,
                    metadata: Optional[Dict[str, object]] = None
                    ) -> Dict[str, object]:
     """Assemble a complete Perfetto-loadable trace dict.
 
     With ``counters`` (default), kernel export also emits the roofline
-    counter tracks, and ``metrics`` (an iterable of
+    counter tracks, ``metrics`` (an iterable of
     :class:`~repro.obs.metrics.StepMetrics`) adds the arena/loss-scale/
-    comm-retry tracks on the host timeline.
+    comm-retry tracks on the host timeline, and ``memory`` (a
+    :class:`~repro.obs.memory.MemoryTracer` or its event list) adds the
+    per-request arena occupancy sawtooth and per-family byte tracks.
     """
     events: List[Dict[str, object]] = []
     if spans is not None:
@@ -287,6 +345,8 @@ def perfetto_trace(*, spans: Optional[Iterable[Span]] = None,
         events.extend(anomaly_events(anomalies))
     if metrics is not None and counters:
         events.extend(metric_counter_events(metrics))
+    if memory is not None and counters:
+        events.extend(memory_counter_events(memory))
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",

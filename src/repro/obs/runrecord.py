@@ -27,6 +27,7 @@ def make_run_record(name: str, *,
                     claims: Optional[Sequence[Dict[str, object]]] = None,
                     config: Optional[Dict[str, object]] = None,
                     profile: Optional[Dict[str, object]] = None,
+                    memory: Optional[Dict[str, object]] = None,
                     notes: str = "") -> Dict[str, object]:
     """Build a run-record dict (everything beyond ``name`` is optional).
 
@@ -63,6 +64,11 @@ def make_run_record(name: str, *,
         # what-ifs) embedded whole, so a bench's perf record carries its
         # own attribution
         record["profile"] = dict(profile)
+    if memory is not None:
+        # the memory observatory's peak/waste counters (see
+        # MemoryReport.counters) — flattened into memory.* metrics by the
+        # trajectory so cross-PR memory regressions gate CI like time
+        record["memory"] = dict(memory)
     if notes:
         record["notes"] = notes
     return record

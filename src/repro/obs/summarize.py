@@ -24,8 +24,12 @@ from .runrecord import load_run_record
 SUMMARIZE_SCHEMA = "repro.obs.summarize/v1"
 
 #: counters where *any* growth is a regression (lower is better).
+#: memory-bytes metrics (peak/waste/capacity/mem) are lower-is-better;
+#: "oom" is deliberately absent — boundary benches *want* the fused
+#: configuration to OOM (``fused_ooms_at_budget == 1.0`` is the pass).
 _LOWER_IS_BETTER = ("alloc", "miss", "exposed", "skip", "launch", "bytes",
-                    "reservation", "anomal")
+                    "reservation", "anomal", "peak", "waste", "capacity",
+                    "mem")
 
 
 def _ratio(current: float, baseline: float) -> float:
@@ -111,7 +115,7 @@ def diff_records(baseline: Dict[str, object], current: Dict[str, object], *,
     c_sum = _metrics_summary(current)
     if b_sum and c_sum:
         for key in ("tokens_per_s", "mean_loss_per_token", "skipped_steps",
-                    "new_allocs", "comm_exposed_s"):
+                    "new_allocs", "comm_exposed_s", "arena_peak_bytes"):
             if key in b_sum and key in c_sum:
                 out["metrics"][key] = {"baseline": b_sum[key],
                                        "current": c_sum[key]}
@@ -184,6 +188,8 @@ def _metrics_summary(record: Dict[str, object]) -> Optional[Dict[str, float]]:
         "new_allocs": sum(int(m.get("new_allocs", 0)) for m in metrics),
         "comm_exposed_s": sum(float(m.get("comm_exposed_s", 0.0))
                               for m in metrics),
+        "arena_peak_bytes": max((int(m.get("arena_peak_bytes", 0))
+                                 for m in metrics), default=0),
     }
 
 

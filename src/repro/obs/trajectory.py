@@ -43,6 +43,7 @@ _METRIC_DIRECTION = {
     "metrics.comm_exposed_s": True,
     "metrics.skipped_steps": True,
     "metrics.new_allocs": True,
+    "metrics.arena_peak_bytes": True,
     "metrics.mean_loss_per_token": None,
 }
 
@@ -63,6 +64,13 @@ def metric_values(record: Dict[str, object]) -> Dict[str, float]:
     for k, v in (record.get("counters") or {}).items():
         if isinstance(v, (int, float)) and not isinstance(v, bool):
             out[f"counters.{k}"] = float(v)
+    # memory-observatory section: only the *_bytes quantities are metrics
+    # (peak_step is an index and bitwise_peak_equal a flag — gating either
+    # as a magnitude would be nonsense)
+    for k, v in (record.get("memory") or {}).items():
+        if (k.endswith("_bytes") and isinstance(v, (int, float))
+                and not isinstance(v, bool)):
+            out[f"memory.{k}"] = float(v)
     summary = _metrics_summary(record)
     if summary:
         for k, v in summary.items():
@@ -78,6 +86,11 @@ def lower_is_better(metric: str) -> Optional[bool]:
         name = metric.lower()
         return (True if any(tok in name for tok in _LOWER_IS_BETTER)
                 else None)
+    if metric.startswith("memory."):
+        # peak/capacity/waste/padding/slack bytes: growth is a regression.
+        # sharing_saved_bytes is the one higher-is-better quantity (more
+        # lifetime sharing is the Fig.-8 win) — track it, don't gate it.
+        return None if "saved" in metric else True
     return _METRIC_DIRECTION.get(metric)
 
 

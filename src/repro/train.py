@@ -111,6 +111,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the performance-observatory report "
                         "(roofline attribution, critical path, what-if "
                         "projections) as JSON at the end of the run")
+    p.add_argument("--memory-out", default=None, metavar="PATH",
+                   help="run arena-backed with the memory observatory "
+                        "tracing every request, and write the memory "
+                        "report (occupancy timeline, peak attribution, "
+                        "waste, replayable shape plan for what-if "
+                        "projections) as JSON; inspect with "
+                        "'python -m repro.obs.memory PATH'")
     p.add_argument("--metrics-out", default=None, metavar="PATH",
                    help="append per-step metrics (loss, tokens/s, "
                         "loss-scale, alloc counters) as JSONL")
@@ -267,6 +274,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.capture_replay:
         engine = CaptureReplayEngine(model, trainer,
                                      arena=ActivationArena())
+    mem_tracer = mem_arena = None
+    if args.memory_out:
+        from .backend.arena import use_memory_tracer
+        from .obs.memory import MemoryTracer
+        mem_tracer = MemoryTracer(
+            epoch=recorder.epoch if recorder is not None else None)
+        if engine is not None:
+            # the capture engine already owns the arena; note that replay
+            # steps dispatch baked slots without re-requesting, so only
+            # capture/eager steps contribute timeline events
+            mem_arena = engine.arena
+        else:
+            mem_arena = ActivationArena()
     checkpointer = (PeriodicCheckpointer(store, args.checkpoint_every)
                     if store is not None and args.checkpoint_every else None)
     injector = FaultInjector(plan) if plan is not None else None
@@ -279,6 +299,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     with use_device(dev), \
             (use_recorder(recorder) if recorder else nullcontext()), \
             (use_collector(collector) if collector else nullcontext()), \
+            (use_memory_tracer(mem_tracer) if mem_tracer is not None
+             else nullcontext()), \
             (use_faults(injector) if injector else nullcontext()):
         for step in range(start_step + 1, args.steps + 1):
             step_t0 = time.perf_counter()
@@ -293,7 +315,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                 res = (engine.step(batch_fn(step - 1), lr=lr)
                        if engine is not None
                        else train_step(model, trainer, batch_fn(step - 1),
-                                       lr=lr))
+                                       lr=lr,
+                                       arena=(mem_arena if engine is None
+                                              else None)))
             except Exception as e:
                 from .obs.health import AnomalyHalted
                 if not isinstance(e, AnomalyHalted):
@@ -313,7 +337,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                     step=step, loss=res.loss, num_tokens=res.num_tokens,
                     wall_s=time.perf_counter() - step_t0,
                     applied=res.applied, scaler=scaler,
-                    arena=engine.arena if engine is not None else None,
+                    arena=(engine.arena if engine is not None
+                           else mem_arena),
                     replay=rc if engine is not None else None,
                     replayed=rc.since(rc0).replays > 0,
                     faults=injector)
@@ -347,11 +372,36 @@ def main(argv: Optional[List[str]] = None) -> int:
                  "causal": args.task == "gpt",
                  "attn_impl": cfg.resolved_attn_impl},
     }
+    mem_report = None
+    if mem_tracer is not None:
+        from .obs.memory import memory_report, write_memory_report
+        # fold the final step's demand into the reservation so the
+        # timeline peak is bitwise comparable to the slab high-water mark
+        mem_arena.begin_step()
+        first = next((a for a in batch_fn(0)
+                      if isinstance(a, np.ndarray)), None)
+        base = {
+            "batch": int(first.shape[0]) if first is not None else 0,
+            # ViT batches are (B, C, H, W) images: no sequence axis to
+            # scale, so seq_len stays 0 and only batch what-ifs apply
+            "seq_len": (int(first.shape[1])
+                        if first is not None and args.task != "vit"
+                        and first.ndim >= 2 else 0),
+            "attn": step_meta["attn"],
+        }
+        mem_report = memory_report(mem_tracer, arena=mem_arena, base=base)
+        write_memory_report(args.memory_out, mem_report)
+        peak = mem_report.peak_demand_bytes
+        print(f"memory report written to {args.memory_out} "
+              f"(peak {peak / 2**20:.1f} MiB, slab "
+              f"{mem_report.capacity_bytes / 2**20:.1f} MiB, bitwise "
+              f"peak==reserved: {mem_report.bitwise_peak_equal})")
     if args.trace_out:
         write_trace(args.trace_out, perfetto_trace(
             spans=recorder.spans, kernels=kept_launches, spec=spec,
             anomalies=anomalies or None,
             metrics=metrics.records if metrics is not None else None,
+            memory=mem_tracer,
             metadata=step_meta))
         print(f"trace written to {args.trace_out} "
               f"({len(recorder.spans)} spans, {len(kept_launches)} kernel "

@@ -9,9 +9,11 @@ update scaled by 1/num_tokens, optional loss scaling folded in).
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, List, Optional, Sequence
 
+from ..backend.arena import ActivationArena
 from ..backend.device import current_device
 from ..layers.base import Layer
 from ..obs.numerics import current_collector
@@ -33,13 +35,19 @@ class StepResult:
 
 
 def train_step(model: Layer, trainer: TrainerBase, batch: Sequence, *,
-               lr: Optional[float] = None) -> StepResult:
+               lr: Optional[float] = None,
+               arena: Optional[ActivationArena] = None) -> StepResult:
     """One step: zero-grad, forward, backward, update (stages traced).
 
     The backward runs on the loss *scaled* by the trainer's scaler (if
     any); the inverse scale and the 1/num_tokens normalisation are folded
     into the update's ``grad_scale``, so no standalone unscale pass exists
     on the fused path — matching §3.2.
+
+    ``arena`` scopes forward+backward activations into a §3.3 activation
+    arena (``arena.step()``), mirroring the capture engine's placement:
+    the optimiser update stays *outside* the arena so its state never
+    aliases the recycled slab.
     """
     dev = current_device()
     col = current_collector()
@@ -49,10 +57,11 @@ def train_step(model: Layer, trainer: TrainerBase, batch: Sequence, *,
         with span("train/zero_grad"):
             trainer.zero_grad()
         scale = trainer.scaler.scale if trainer.scaler is not None else 1.0
-        with dev.stage_scope("forward"), span("train/forward"):
-            loss, ntok = model.forward(*batch)
-        with dev.stage_scope("backward"), span("train/backward"):
-            model.backward(grad_scale=scale)
+        with arena.step() if arena is not None else nullcontext():
+            with dev.stage_scope("forward"), span("train/forward"):
+                loss, ntok = model.forward(*batch)
+            with dev.stage_scope("backward"), span("train/backward"):
+                model.backward(grad_scale=scale)
         gs = 1.0 / (scale * max(ntok, 1))
         if col is not None and col.active:
             with span("numerics/collect"):

@@ -272,3 +272,50 @@ class TestCounters:
         delta = alloc_counters().since(base)
         assert delta.fresh == 1 and delta.fresh_bytes == 32
         assert delta.new_allocs == 1
+
+
+class TestTracedReReservation:
+    """Satellite of the memory observatory: the tracer's view of the
+    shrink-then-grow life cycle must agree with the arena's own books —
+    one reserve event per regrowth, generation bumps in lockstep, and a
+    timeline whose folded peak stays bitwise equal to the slab."""
+
+    def _run(self, shapes):
+        from repro.backend.arena import use_memory_tracer
+        from repro.obs.memory import MemoryTracer, memory_report
+        tracer = MemoryTracer()
+        arena = ActivationArena()
+        with use_memory_tracer(tracer):
+            for shape in shapes:
+                arena.begin_step()
+                arena.request(shape)
+            arena.begin_step()          # fold the last step
+        return tracer, arena, memory_report(tracer, arena=arena)
+
+    def test_one_reserve_event_per_regrowth(self):
+        # scan, grow, shrink (no reserve), grow again
+        tracer, arena, _ = self._run(
+            [(8, 8), (64, 64), (8, 8), (128, 128)])
+        reserves = [e for e in tracer.events if e.kind == "reserve"]
+        assert len(reserves) == arena.reservations == 3
+        assert arena.generation == 3
+        # each reserve event snapshots the slab it grew to, monotonically
+        caps = [e.capacity for e in reserves]
+        assert caps == sorted(caps) and caps[-1] == arena.capacity
+
+    def test_shrink_steps_never_re_reserve(self):
+        tracer, arena, _ = self._run(
+            [(64, 64), (4, 4), (64, 64), (4, 4)])
+        reserves = [e for e in tracer.events if e.kind == "reserve"]
+        assert len(reserves) == 1       # only the initial scan grew it
+        assert arena.generation == 1
+
+    def test_folded_timeline_peak_stays_bitwise(self):
+        tracer, arena, report = self._run(
+            [(8, 8), (128, 128), (8, 8)])
+        assert report.bitwise_peak_equal
+        # the peak step is the big one, and the shrunk steps show slack
+        peak = max(report.steps, key=lambda s: s["demand_bytes"])
+        assert peak["demand_bytes"] == report.peak_demand_bytes
+        small = min(report.steps, key=lambda s: s["demand_bytes"])
+        assert small["demand_bytes"] < arena.capacity

@@ -146,3 +146,19 @@ def test_summary_aggregates():
 def test_zero_wall_clock_is_defined():
     m = StepMetrics(step=1, loss=1.0, num_tokens=10, wall_s=0.0)
     assert m.tokens_per_s == 0.0
+
+
+def test_arena_memory_columns():
+    class FakeArena:
+        reservations = 1
+        capacity = 1 << 20
+        peak_demand = 900_000
+        demand = 800_000
+
+    rec = MetricsRecorder()
+    m = rec.observe_step(step=1, loss=0.5, num_tokens=8, wall_s=0.1,
+                         arena=FakeArena())
+    assert m.arena_peak_bytes == 900_000
+    assert m.arena_step_demand_bytes == 800_000
+    assert m.arena_waste_bytes == (1 << 20) - 800_000
+    assert rec.summary()["arena_peak_bytes"] == 900_000

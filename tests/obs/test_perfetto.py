@@ -227,3 +227,47 @@ def test_kernel_slices_roundtrip_through_args():
     launches = _trace_with_sync()
     doc = perfetto_trace(kernels=launches, spec=V100)
     assert trace_kernels(doc) == list(launches)
+
+
+def test_memory_counter_tracks():
+    from repro.backend.arena import (ActivationArena, mem_scope,
+                                     use_memory_tracer)
+    from repro.obs.memory import MemoryTracer
+    from repro.obs.perfetto import memory_counter_events
+    tracer = MemoryTracer()
+    arena = ActivationArena()
+    with use_memory_tracer(tracer):
+        for _ in range(2):
+            arena.begin_step()
+            with mem_scope("m.block0.attn"):
+                arena.request((64, 64))
+            with mem_scope("m.block0.ffn"):
+                arena.request((32, 32))
+    events = memory_counter_events(tracer)
+    occ = _counters(events, "arena occupancy (bytes)")
+    vals = [e["args"]["value"] for e in occ]
+    # the sawtooth: cumulative within a step, reset at step boundaries
+    assert vals.count(0) == 2                   # one reset per begin_step
+    peak = max(vals)
+    assert vals[-1] == peak and peak > 0
+    # per-family tracks carry the attributed bytes
+    fams = {e["name"] for e in _counters(events)} - {
+        "arena occupancy (bytes)"}
+    assert {"arena bytes: attention", "arena bytes: ffn"} <= fams
+
+
+def test_memory_oom_instant_event():
+    from repro.backend.arena import ActivationArena, ArenaOOM, \
+        use_memory_tracer
+    from repro.obs.memory import MemoryTracer
+    from repro.obs.perfetto import memory_counter_events
+    tracer = MemoryTracer()
+    arena = ActivationArena(max_bytes=256)
+    with use_memory_tracer(tracer):
+        arena.begin_step()
+        with pytest.raises(ArenaOOM):
+            arena.request((1024, 1024))
+    (oom,) = [e for e in memory_counter_events(tracer)
+              if e.get("ph") == "i"]
+    assert oom["name"] == "arena OOM"
+    assert oom["args"]["requested_bytes"] == 1024 * 1024 * 4

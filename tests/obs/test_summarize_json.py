@@ -108,3 +108,40 @@ class TestCLI:
                              _rec(counters={"anomalies": 1}))
         assert main([bp, cp, "--json"]) == 1
         assert json.loads(capsys.readouterr().out)["regressions"] == 1
+
+
+class TestMemoryCounters:
+    """Memory-observatory counters diff lower-is-better: peak/waste/
+    capacity/mem growth regresses, while OOM-boundary flags (where 1.0 is
+    the *desired* measured outcome, e.g. fused_ooms_at_budget) stay
+    neutral."""
+
+    def test_peak_bytes_growth_is_regression(self):
+        d = diff_records(_rec(counters={"arena_peak_bytes": 100.0}),
+                         _rec(counters={"arena_peak_bytes": 200.0}))
+        assert d["regressions"] == 1
+
+    def test_waste_and_capacity_growth_is_regression(self):
+        d = diff_records(
+            _rec(counters={"waste_bytes": 10.0, "capacity_mib": 36.0}),
+            _rec(counters={"waste_bytes": 40.0, "capacity_mib": 72.0}))
+        assert d["regressions"] == 2
+
+    def test_memory_token_gated(self):
+        d = diff_records(_rec(counters={"peak_mem_mb": 10.0}),
+                         _rec(counters={"peak_mem_mb": 20.0}))
+        assert d["regressions"] == 1
+
+    def test_oom_boundary_flag_stays_neutral(self):
+        # fused_ooms_at_budget flipping 0 -> 1 is the *measured claim*
+        # (the budget really splits fused from tiled), not a regression
+        d = diff_records(_rec(counters={"fused_ooms_at_budget": 0.0}),
+                         _rec(counters={"fused_ooms_at_budget": 1.0}))
+        assert d["regressions"] == 0
+
+    def test_arena_peak_in_metrics_summary(self):
+        rows = [{"step": 1, "loss": 2.0, "num_tokens": 4, "wall_s": 0.5,
+                 "applied": True, "arena_peak_bytes": 4096}]
+        d = diff_records(_rec(metrics=rows), _rec(metrics=rows))
+        assert d["metrics"]["arena_peak_bytes"]["baseline"] == 4096
+        assert d["regressions"] == 0

@@ -127,3 +127,46 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "counters.launches" in out
         assert "step_total_s" not in out
+
+
+class TestMemorySection:
+    """The memory-observatory section of a run record: only ``*_bytes``
+    quantities become gated metrics (peak_step is an index,
+    bitwise_peak_equal a flag), and sharing_saved_bytes — the one
+    higher-is-better quantity — is tracked but never gated."""
+
+    def _mem_record(self, i, peak):
+        rec = _record(i, 0.1)
+        rec["memory"] = {"peak_demand_bytes": peak,
+                         "capacity_bytes": peak + 1024,
+                         "sharing_saved_bytes": 2048,
+                         "peak_step": 3,
+                         "bitwise_peak_equal": True}
+        return rec
+
+    def test_only_bytes_quantities_flatten(self):
+        vals = metric_values(self._mem_record(0, 1 << 20))
+        assert vals["memory.peak_demand_bytes"] == float(1 << 20)
+        assert vals["memory.capacity_bytes"] == float((1 << 20) + 1024)
+        assert "memory.peak_step" not in vals
+        assert "memory.bitwise_peak_equal" not in vals
+
+    def test_directions(self):
+        assert lower_is_better("memory.peak_demand_bytes") is True
+        assert lower_is_better("memory.capacity_bytes") is True
+        assert lower_is_better("memory.waste_bytes") is True
+        assert lower_is_better("memory.sharing_saved_bytes") is None
+
+    def test_peak_growth_is_a_regression(self, tmp_path):
+        d = _write(tmp_path, [self._mem_record(0, 1000_000),
+                              self._mem_record(1, 1001_000),
+                              self._mem_record(2, 1200_000)])
+        regs = load_trajectory(d).detect_regressions(0.05)
+        assert any(r.metric == "memory.peak_demand_bytes" for r in regs)
+
+    def test_sharing_drop_is_not_gated(self, tmp_path):
+        recs = [self._mem_record(0, 1000_000), self._mem_record(1, 1000_000)]
+        recs[1]["memory"]["sharing_saved_bytes"] = 0     # sharing vanished
+        d = _write(tmp_path, recs)
+        regs = load_trajectory(d).detect_regressions(0.05)
+        assert not any("sharing" in r.metric for r in regs)
